@@ -1,0 +1,153 @@
+// Command lsd ("load shedding daemon") runs the monitoring system over
+// a generated or recorded trace and reports how the load shedding
+// scheme behaved: per-second controller state while running, then
+// per-query accuracy against a lossless reference.
+//
+//	lsd -preset cesca2 -dur 30s -overload 2 -scheme predictive -strategy mmfs_pkt
+//	lsd -trace trace.bin -overload 2.5 -scheme reactive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "cesca2", "dataset preset (ignored with -trace)")
+		traceFile = flag.String("trace", "", "replay this trace file instead of generating")
+		dur       = flag.Duration("dur", 30*time.Second, "generated trace duration")
+		scale     = flag.Float64("scale", 0.1, "generated trace rate scale")
+		seed      = flag.Uint64("seed", 1, "seed")
+		overload  = flag.Float64("overload", 2, "demand/capacity ratio to impose")
+		scheme    = flag.String("scheme", "predictive", "predictive | reactive | original | none")
+		strategy  = flag.String("strategy", "mmfs_pkt", "equal | eq_srates | mmfs_cpu | mmfs_pkt (predictive only)")
+		full      = flag.Bool("full", false, "run all ten queries instead of the standard seven")
+		customOn  = flag.Bool("custom", true, "enable custom load shedding (Chapter 6)")
+	)
+	flag.Parse()
+
+	src, err := openSource(*traceFile, *preset, *seed, *dur, *scale)
+	die(err)
+
+	mkQs := func() []queries.Query {
+		if *full {
+			return queries.FullSet(queries.Config{Seed: *seed})
+		}
+		return queries.StandardSet(queries.Config{Seed: *seed})
+	}
+
+	fmt.Println("measuring full-rate demand ...")
+	ovh, demand := system.MeasureLoad(src, mkQs(), *seed+1)
+	capacity := ovh + demand / *overload
+	fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), capacity %.3g (overload %.2fx)\n",
+		demand, ovh, capacity, *overload)
+
+	cfg := system.Config{
+		Capacity:       capacity,
+		Seed:           *seed + 2,
+		CustomShedding: *customOn,
+	}
+	switch *scheme {
+	case "predictive":
+		cfg.Scheme = system.Predictive
+	case "reactive":
+		cfg.Scheme = system.Reactive
+	case "original":
+		cfg.Scheme = system.Original
+	case "none":
+		cfg.Scheme = system.NoShed
+	default:
+		die(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if cfg.Scheme == system.Predictive {
+		switch *strategy {
+		case "equal":
+			cfg.Strategy = sched.EqualRates{}
+		case "eq_srates":
+			cfg.Strategy = sched.EqualRates{RespectMinRates: true}
+		case "mmfs_cpu":
+			cfg.Strategy = sched.MMFSCPU{}
+		case "mmfs_pkt":
+			cfg.Strategy = sched.MMFSPkt{}
+		default:
+			die(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+	}
+
+	fmt.Println("running reference (lossless) ...")
+	ref := system.Reference(src, mkQs(), *seed+1)
+
+	fmt.Printf("running %s ...\n", *scheme)
+	res := system.New(cfg, mkQs()).Run(src)
+
+	fmt.Printf("\n%-6s %-9s %-9s %-8s %-6s %-6s\n", "sec", "pkts/s", "drops/s", "rate", "occ", "cpu%")
+	for i := 0; i < len(res.Bins); i += 10 {
+		var pkts, drops, rate, occ, cpu float64
+		n := 0
+		for j := i; j < i+10 && j < len(res.Bins); j++ {
+			b := res.Bins[j]
+			pkts += float64(b.WirePkts)
+			drops += float64(b.DropPkts)
+			rate += stats.Mean(b.Rates)
+			occ += b.BufferBins
+			cpu += (b.Used + b.Overhead + b.Shed) / capacity
+			n++
+		}
+		fmt.Printf("%-6d %-9.0f %-9.0f %-8.3f %-6.2f %-6.1f\n",
+			i/10, pkts, drops, rate/float64(n), occ/float64(n), 100*cpu/float64(n))
+	}
+
+	errs := system.MeanErrors(mkQs(), res, ref)
+	fmt.Printf("\nper-query mean accuracy error vs lossless reference:\n")
+	for _, q := range mkQs() {
+		fmt.Printf("  %-16s %6.2f%%\n", q.Name(), errs[q.Name()]*100)
+	}
+	fmt.Printf("\nuncontrolled drops: %d of %d packets (%.3f%%)\n",
+		res.TotalDrops(), res.TotalWirePkts(),
+		100*float64(res.TotalDrops())/float64(res.TotalWirePkts()))
+}
+
+func openSource(traceFile, preset string, seed uint64, dur time.Duration, scale float64) (trace.Source, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAll(f)
+	}
+	var cfg trace.Config
+	switch preset {
+	case "cesca1":
+		cfg = trace.CESCA1(seed, dur, scale)
+	case "cesca2":
+		cfg = trace.CESCA2(seed, dur, scale)
+	case "abilene":
+		cfg = trace.Abilene(seed, dur, scale)
+	case "cenic":
+		cfg = trace.CENIC(seed, dur, scale)
+	case "upc1":
+		cfg = trace.UPC1(seed, dur, scale)
+	case "upc2":
+		cfg = trace.UPC2(seed, dur, scale)
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	return trace.NewGenerator(cfg), nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command lsrepro regenerates the tables and figures of the paper's
+// evaluation. Each experiment is addressed by the identifier used in
+// DESIGN.md:
+//
+//	lsrepro -list
+//	lsrepro -exp fig4.1
+//	lsrepro -exp all -scale 0.2 -dur 2m
+//
+// Output is text: tables as aligned columns, figures as downsampled x/y
+// listings suitable for replotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		seed  = flag.Uint64("seed", 1, "base random seed")
+		scale = flag.Float64("scale", 0.1, "traffic rate scale vs the paper's rates")
+		dur   = flag.Duration("dur", 60*time.Second, "virtual duration per run")
+		quick = flag.Bool("quick", false, "shrink parameter sweeps")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		titles := experiments.Titles()
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-11s %s\n", id, titles[id])
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Dur: *dur, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsrepro:", err)
+			os.Exit(1)
+		}
+		experiments.Render(os.Stdout, res)
+	}
+}

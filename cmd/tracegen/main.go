@@ -1,0 +1,83 @@
+// Command tracegen generates, inspects and converts synthetic packet
+// traces:
+//
+//	tracegen -preset cesca2 -dur 30s -scale 0.1 -o trace.bin
+//	tracegen -info trace.bin
+//
+// Traces written once replay byte-identically everywhere, mirroring the
+// paper's use of captured traces "for the sake of reproducibility".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "cesca2", "dataset preset: cesca1, cesca2, abilene, cenic, upc1, upc2")
+		dur    = flag.Duration("dur", 30*time.Second, "trace duration")
+		scale  = flag.Float64("scale", 0.1, "rate scale vs the paper's capture")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "write the trace to this file")
+		info   = flag.String("info", "", "print statistics of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		f, err := os.Open(*info)
+		die(err)
+		defer f.Close()
+		src, err := trace.ReadAll(f)
+		die(err)
+		printStats(*info, trace.Measure(src))
+		return
+	}
+
+	var cfg trace.Config
+	switch *preset {
+	case "cesca1":
+		cfg = trace.CESCA1(*seed, *dur, *scale)
+	case "cesca2":
+		cfg = trace.CESCA2(*seed, *dur, *scale)
+	case "abilene":
+		cfg = trace.Abilene(*seed, *dur, *scale)
+	case "cenic":
+		cfg = trace.CENIC(*seed, *dur, *scale)
+	case "upc1":
+		cfg = trace.UPC1(*seed, *dur, *scale)
+	case "upc2":
+		cfg = trace.UPC2(*seed, *dur, *scale)
+	default:
+		die(fmt.Errorf("unknown preset %q", *preset))
+	}
+	gen := trace.NewGenerator(cfg)
+	if *out == "" {
+		printStats(*preset+" (not written; use -o)", trace.Measure(gen))
+		return
+	}
+	f, err := os.Create(*out)
+	die(err)
+	defer f.Close()
+	die(trace.WriteAll(f, gen))
+	printStats(*out, trace.Measure(gen))
+}
+
+func printStats(name string, st trace.Stats) {
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  duration  %v (%d batches)\n", st.Duration, st.Batches)
+	fmt.Printf("  packets   %d (%.1f kpps)\n", st.Packets, st.AvgPPS/1000)
+	fmt.Printf("  bytes     %d\n", st.Bytes)
+	fmt.Printf("  load Mbps avg %.1f / max %.1f / min %.1f\n", st.AvgMbps, st.MaxMbps, st.MinMbps)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// DDoS resilience: the §4.5.5 scenario. A spoofed SYN flood doubles the
+// flow-state workload mid-run; predictive shedding absorbs it by
+// sampling, while the unmodified system drops packets without control.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/pkt"
+	"repro/internal/queries"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+func main() {
+	const dur = 30 * time.Second
+	target := pkt.IPv4(147, 83, 1, 1)
+
+	mkSrc := func() repro.TraceSource {
+		cfg := repro.CESCA1(3, dur, 0.1)
+		cfg.Anomalies = []repro.Anomaly{
+			// Flood for the middle third of the run at 3x the base rate.
+			repro.NewSYNFlood(dur/3, dur/3, 3*cfg.PacketsPerSec, target, 80),
+		}
+		return repro.NewGenerator(cfg)
+	}
+	mkQs := func() []repro.Query {
+		return []repro.Query{queries.NewFlows(queries.Config{})}
+	}
+
+	// Capacity fits normal traffic with 30% headroom; the flood exceeds
+	// it. Platform overhead (capture + feature extraction) scales with
+	// the packet rate and cannot be shed, so the budget reserves room
+	// for it at flood rates — the thesis experiment (§4.5.5) likewise
+	// set the availability threshold well above the platform floor.
+	normalSrc := repro.NewGenerator(repro.CESCA1(3, dur, 0.1))
+	ovh, demand := system.MeasureLoad(normalSrc, mkQs(), 9)
+	capacity := 4*ovh + 1.3*demand
+	ref := repro.Reference(mkSrc(), mkQs(), 9)
+
+	for _, scheme := range []repro.Scheme{repro.Predictive, repro.Original} {
+		mon := repro.NewMonitor(repro.MonitorConfig{
+			Scheme:     scheme,
+			Capacity:   capacity,
+			Seed:       9,
+			BufferBins: 2, // a 200 ms capture buffer, like the paper's emulation
+		}, mkQs())
+		res := mon.Run(mkSrc())
+		errs := repro.Errors(mkQs(), res, ref)["flows"]
+		fmt.Printf("%-11s flow-count error mean %5.2f%% max %5.2f%%, drops %d\n",
+			scheme, 100*stats.Mean(errs), 100*stats.Max(errs), res.TotalDrops())
+	}
+	fmt.Println("\nexpected shape: predictive keeps the error within a few percent and")
+	fmt.Println("drops nothing; the original system loses packets exactly during the attack.")
+}

@@ -1,0 +1,68 @@
+// Fair sharing: nine competing queries under 2x overload, comparing the
+// Chapter 5 strategies. mmfs_pkt keeps even the most demanding queries
+// above their minimum sampling rates; eq_srates starves them.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/system"
+)
+
+func main() {
+	const dur = 20 * time.Second
+	mkSrc := func() repro.TraceSource {
+		return repro.NewGenerator(repro.CESCA2(5, dur, 0.1))
+	}
+	mkQs := func() []repro.Query { return repro.AllQueries(repro.QueryConfig{Seed: 5}) }
+
+	capacity := repro.CapacityForOverload(mkSrc(), mkQs(), 11, 2)
+	ref := repro.Reference(mkSrc(), mkQs(), 11)
+
+	strategies := []struct {
+		name  string
+		strat repro.Strategy
+	}{
+		{"eq_srates", repro.EqualRates(true)},
+		{"mmfs_cpu", repro.MMFSCPU()},
+		{"mmfs_pkt", repro.MMFSPkt()},
+	}
+
+	fmt.Printf("%-12s", "query")
+	for _, s := range strategies {
+		fmt.Printf("  %-10s", s.name)
+	}
+	fmt.Println("   (accuracy per strategy, K=0.5)")
+
+	acc := map[string]map[string]float64{}
+	for _, s := range strategies {
+		mon := repro.NewMonitor(repro.MonitorConfig{
+			Scheme:         repro.Predictive,
+			Capacity:       capacity,
+			Strategy:       s.strat,
+			Seed:           11,
+			CustomShedding: true,
+		}, mkQs())
+		res := mon.Run(mkSrc())
+		accs := system.Accuracies(mkQs(), res, ref, 10)
+		acc[s.name] = map[string]float64{}
+		for q, as := range accs {
+			var sum float64
+			for _, a := range as {
+				sum += a
+			}
+			acc[s.name][q] = sum / float64(len(as))
+		}
+	}
+	for _, q := range mkQs() {
+		fmt.Printf("%-12s", q.Name())
+		for _, s := range strategies {
+			fmt.Printf("  %-10.2f", acc[s.name][q.Name()])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape: mmfs strategies keep the expensive queries")
+	fmt.Println("(autofocus, super-sources) alive where eq_srates disables them.")
+}

@@ -1,0 +1,281 @@
+package bitmap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func TestDirectEmpty(t *testing.T) {
+	d := NewDirect(64)
+	if got := d.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v, want 0", got)
+	}
+	if d.Ones() != 0 {
+		t.Fatalf("empty bitmap has %d ones", d.Ones())
+	}
+}
+
+func TestDirectRoundsUpToPowerOfTwo(t *testing.T) {
+	d := NewDirect(1000)
+	if d.Size() != 1024 {
+		t.Fatalf("size = %d, want 1024", d.Size())
+	}
+	d = NewDirect(1)
+	if d.Size() != 64 {
+		t.Fatalf("minimum size = %d, want 64", d.Size())
+	}
+}
+
+func TestDirectSingleItem(t *testing.T) {
+	d := NewDirect(1024)
+	d.Insert(12345)
+	d.Insert(12345) // duplicate must not change anything
+	if d.Ones() != 1 {
+		t.Fatalf("ones = %d, want 1", d.Ones())
+	}
+	est := d.Estimate()
+	if math.Abs(est-1) > 0.01 {
+		t.Fatalf("estimate = %v, want ~1", est)
+	}
+}
+
+func TestDirectLinearCountingAccuracy(t *testing.T) {
+	h := hash.NewH3(1)
+	d := NewDirect(8192)
+	const n = 2000
+	buf := make([]byte, hash.KeySize)
+	for i := 0; i < n; i++ {
+		buf[0] = byte(i)
+		buf[1] = byte(i >> 8)
+		buf[2] = byte(i >> 16)
+		d.Insert(hash.Mix64(h.Hash(buf)))
+	}
+	est := d.Estimate()
+	if math.Abs(est-n)/n > 0.05 {
+		t.Fatalf("estimate = %v, want %d +/- 5%%", est, n)
+	}
+}
+
+func TestDirectReset(t *testing.T) {
+	d := NewDirect(64)
+	d.Insert(1)
+	d.Reset()
+	if d.Ones() != 0 {
+		t.Fatal("Reset did not clear bits")
+	}
+}
+
+func TestDirectMerge(t *testing.T) {
+	a := NewDirect(256)
+	b := NewDirect(256)
+	a.Insert(1)
+	b.Insert(2)
+	a.MergeFrom(b)
+	if a.Ones() != 2 {
+		t.Fatalf("merged ones = %d, want 2", a.Ones())
+	}
+}
+
+func TestDirectMergePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDirect(64).MergeFrom(NewDirect(128))
+}
+
+func TestDirectSaturatedEstimateFinite(t *testing.T) {
+	d := NewDirect(64)
+	for i := uint64(0); i < 64; i++ {
+		d.Insert(i)
+	}
+	est := d.Estimate()
+	if math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Fatalf("saturated estimate not finite: %v", est)
+	}
+}
+
+func TestMultiResNeedsTwoLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiRes(64, 1)
+}
+
+func TestMultiResEmpty(t *testing.T) {
+	m := DefaultMultiRes()
+	if got := m.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v, want 0", got)
+	}
+}
+
+func TestMultiResAccuracyAcrossMagnitudes(t *testing.T) {
+	// The headline property: ~constant relative error from hundreds to
+	// hundreds of thousands of distinct items with one configuration.
+	h := hash.NewH3(2)
+	buf := make([]byte, hash.KeySize)
+	for _, n := range []int{100, 1000, 10000, 100000, 500000} {
+		m := DefaultMultiRes()
+		for i := 0; i < n; i++ {
+			buf[0] = byte(i)
+			buf[1] = byte(i >> 8)
+			buf[2] = byte(i >> 16)
+			buf[3] = byte(i >> 24)
+			m.Insert(hash.Mix64(h.Hash(buf)))
+		}
+		est := m.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate=%.0f relErr=%.3f, want <= 0.05", n, est, relErr)
+		}
+	}
+}
+
+func TestMultiResDuplicatesIgnored(t *testing.T) {
+	h := hash.NewH3(3)
+	m := DefaultMultiRes()
+	buf := make([]byte, hash.KeySize)
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 500; i++ {
+			buf[0] = byte(i)
+			buf[1] = byte(i >> 8)
+			m.Insert(hash.Mix64(h.Hash(buf)))
+		}
+	}
+	est := m.Estimate()
+	if math.Abs(est-500)/500 > 0.05 {
+		t.Fatalf("estimate with duplicates = %v, want ~500", est)
+	}
+}
+
+func TestMultiResMergeCountsUnion(t *testing.T) {
+	h := hash.NewH3(4)
+	a := DefaultMultiRes()
+	b := DefaultMultiRes()
+	buf := make([]byte, hash.KeySize)
+	// a gets items [0,3000), b gets [2000,5000): union is 5000.
+	for i := 0; i < 3000; i++ {
+		buf[0], buf[1] = byte(i), byte(i>>8)
+		a.Insert(hash.Mix64(h.Hash(buf)))
+	}
+	for i := 2000; i < 5000; i++ {
+		buf[0], buf[1] = byte(i), byte(i>>8)
+		b.Insert(hash.Mix64(h.Hash(buf)))
+	}
+	a.MergeFrom(b)
+	est := a.Estimate()
+	if math.Abs(est-5000)/5000 > 0.05 {
+		t.Fatalf("union estimate = %v, want ~5000", est)
+	}
+}
+
+func TestMultiResMergePanicsOnGeometryMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiRes(64, 4).MergeFrom(NewMultiRes(64, 5))
+}
+
+func TestMultiResReset(t *testing.T) {
+	m := NewMultiRes(64, 4)
+	m.Insert(123)
+	m.Reset()
+	if m.Estimate() != 0 {
+		t.Fatal("Reset did not clear the counter")
+	}
+}
+
+func TestMultiResMemoryBytes(t *testing.T) {
+	m := NewMultiRes(4096, 16)
+	if got := m.MemoryBytes(); got != 16*4096/8 {
+		t.Fatalf("MemoryBytes = %d", got)
+	}
+}
+
+func TestMultiResLevelDistribution(t *testing.T) {
+	// Level i (i < last) should receive a 2^-(i+1) slice of hash space.
+	m := NewMultiRes(64, 8)
+	counts := make([]int, 8)
+	rng := hash.NewXorShift(5)
+	const n = 1 << 18
+	for i := 0; i < n; i++ {
+		counts[m.level(rng.Uint64())]++
+	}
+	for i := 0; i < 6; i++ {
+		want := float64(n) / math.Pow(2, float64(i+1))
+		if math.Abs(float64(counts[i])-want) > want*0.1+10 {
+			t.Errorf("level %d count = %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestMultiResMergeCommutative(t *testing.T) {
+	// Estimate(a OR b) must equal Estimate(b OR a).
+	f := func(xs, ys []uint64) bool {
+		a1 := NewMultiRes(256, 8)
+		b1 := NewMultiRes(256, 8)
+		a2 := NewMultiRes(256, 8)
+		b2 := NewMultiRes(256, 8)
+		for _, x := range xs {
+			a1.Insert(x)
+			a2.Insert(x)
+		}
+		for _, y := range ys {
+			b1.Insert(y)
+			b2.Insert(y)
+		}
+		a1.MergeFrom(b1)
+		b2.MergeFrom(a2)
+		return a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiResMonotoneUnderInsertionProperty(t *testing.T) {
+	// Inserting more items never decreases the estimate by a meaningful
+	// amount (small decreases can't happen at all: set bits only grow).
+	m := NewMultiRes(256, 8)
+	rng := hash.NewXorShift(6)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		m.Insert(rng.Uint64())
+		if i%500 == 0 {
+			est := m.Estimate()
+			if est < prev {
+				t.Fatalf("estimate decreased from %v to %v", prev, est)
+			}
+			prev = est
+		}
+	}
+}
+
+func BenchmarkMultiResInsert(b *testing.B) {
+	m := DefaultMultiRes()
+	rng := hash.NewXorShift(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Insert(rng.Uint64())
+	}
+}
+
+func BenchmarkMultiResEstimate(b *testing.B) {
+	m := DefaultMultiRes()
+	rng := hash.NewXorShift(1)
+	for i := 0; i < 100000; i++ {
+		m.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Estimate()
+	}
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+func init() {
+	register("fig5.1", "Simulated mmfs_pkt − mmfs_cpu accuracy difference (1 heavy + 10 light)", fig51)
+	register("fig5.2", "Measured mmfs_pkt − mmfs_cpu accuracy difference (1 trace + 10 counter)", fig52)
+	register("fig5.3", "Accuracy of queries as a function of the sampling rate", fig53)
+	register("fig5.4", "Average and minimum accuracy of five strategies vs overload level", fig54)
+	register("fig5.5", "Autofocus accuracy over time at K = 0.2 per strategy", fig55)
+	register("tab5.2", "Minimum sampling rates and accuracy at K = 0.5 per system", tab52)
+	register("nash", "Empirical verification of the Nash equilibrium (Theorem 5.1)", nashExp)
+}
+
+func kGrid(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.25, 0.5, 0.75, 0.95}
+	}
+	return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+}
+
+func fig51(cfg Config) (*Result, error) {
+	grid := kGrid(cfg.Quick)
+	avgT := Table{ID: "fig5.1a", Title: "avg accuracy difference (mmfs_pkt − mmfs_cpu)", Columns: []string{"mq \\ K"}}
+	minT := Table{ID: "fig5.1b", Title: "min accuracy difference (mmfs_pkt − mmfs_cpu)", Columns: []string{"mq \\ K"}}
+	for _, k := range grid {
+		avgT.Columns = append(avgT.Columns, fmtF(k, 2))
+		minT.Columns = append(minT.Columns, fmtF(k, 2))
+	}
+	maxMinGap := 0.0
+	for _, mq := range grid {
+		avgRow := []string{fmtF(mq, 2)}
+		minRow := []string{fmtF(mq, 2)}
+		qs := game.LightHeavySet(10, mq)
+		total := game.TotalCost(qs)
+		for _, k := range grid {
+			capacity := total * (1 - k)
+			cpu := game.Simulate(qs, capacity, sched.MMFSCPU{})
+			pkt := game.Simulate(qs, capacity, sched.MMFSPkt{})
+			avgRow = append(avgRow, fmtF(pkt.Avg-cpu.Avg, 3))
+			minRow = append(minRow, fmtF(pkt.Min-cpu.Min, 3))
+			if d := pkt.Min - cpu.Min; d > maxMinGap {
+				maxMinGap = d
+			}
+		}
+		avgT.Rows = append(avgT.Rows, avgRow)
+		minT.Rows = append(minT.Rows, minRow)
+	}
+	return &Result{Tables: []Table{avgT, minT}, Notes: []string{
+		"positive values show mmfs_pkt above mmfs_cpu; max min-accuracy gap = " + fmtF(maxMinGap, 3),
+		"paper shape: near-zero average differences, clearly positive minimum differences",
+	}}, nil
+}
+
+func fig52(cfg Config) (*Result, error) {
+	dur := cfg.dur(10 * time.Second)
+	grid := kGrid(true) // the measured surface is expensive; keep coarse
+	mkQs := func() []queries.Query {
+		qs := []queries.Query{queries.NewTraceQuery(queries.Config{Seed: cfg.Seed})}
+		for i := 0; i < 10; i++ {
+			qs = append(qs, queries.NewCounter(queries.Config{Seed: cfg.Seed + uint64(i)}))
+		}
+		return qs
+	}
+	// All counters share a name; rename via interval index is overkill —
+	// accuracy aggregation below works on indices instead.
+	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
+	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
+
+	measure := func(strat sched.Strategy, k float64) (avg, min float64) {
+		res := system.New(system.Config{
+			Scheme: system.Predictive, Capacity: demand * (1 - k),
+			Seed: cfg.Seed + 96, Strategy: strat,
+		}, mkQs()).Run(srcCESCA2(cfg, dur))
+		metric := mkQs()
+		min = 1
+		var sum float64
+		for qi, mq := range metric {
+			var errs []float64
+			for iv := range res.Intervals {
+				if qi < len(res.Intervals[iv].Results) && qi < len(ref.Intervals[iv].Results) {
+					errs = append(errs, mq.Error(res.Intervals[iv].Results[qi], ref.Intervals[iv].Results[qi]))
+				}
+			}
+			acc := 1 - stats.Clamp(stats.Mean(errs), 0, 1)
+			sum += acc
+			if acc < min {
+				min = acc
+			}
+		}
+		return sum / float64(len(metric)), min
+	}
+
+	avgT := Table{ID: "fig5.2a", Title: "measured avg accuracy difference", Columns: []string{"K", "pkt−cpu avg", "pkt−cpu min"}}
+	for _, k := range grid {
+		cpuAvg, cpuMin := measure(sched.MMFSCPU{}, k)
+		pktAvg, pktMin := measure(sched.MMFSPkt{}, k)
+		avgT.Rows = append(avgT.Rows, []string{
+			fmtF(k, 2), fmtF(pktAvg-cpuAvg, 3), fmtF(pktMin-cpuMin, 3),
+		})
+	}
+	return &Result{Tables: []Table{avgT}, Notes: []string{
+		"1 trace + 10 counter queries; positive min differences confirm the simulation (Fig 5.1)",
+	}}, nil
+}
+
+func fig53(cfg Config) (*Result, error) {
+	dur := cfg.dur(10 * time.Second)
+	rates := []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}
+	if cfg.Quick {
+		rates = []float64{0.05, 0.3, 0.7, 1.0}
+	}
+	names := []string{"counter", "flows", "top-k", "autofocus"}
+	fig := Figure{ID: "fig5.3", Title: "accuracy vs sampling rate", XLabel: "sampling rate", YLabel: "accuracy"}
+	for _, name := range names {
+		s := Series{Name: name}
+		for _, rate := range rates {
+			acc := 1 - sampledError(cfg, dur, name, rate)
+			s.X = append(s.X, rate)
+			s.Y = append(s.Y, stats.Clamp(acc, 0, 1))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return &Result{Figures: []Figure{fig}}, nil
+}
+
+// sampledError runs query `name` at a fixed packet-sampling rate over
+// the CESCA-II source and returns its mean per-interval error versus a
+// lossless run.
+func sampledError(cfg Config, dur time.Duration, name string, rate float64) float64 {
+	mk := func() queries.Query {
+		for _, q := range queries.FullSet(queries.Config{Seed: cfg.Seed}) {
+			if q.Name() == name {
+				return q
+			}
+		}
+		panic("unknown query " + name)
+	}
+	run := func(rate float64) []queries.Result {
+		src := srcCESCA2(cfg, dur)
+		src.Reset()
+		q := mk()
+		samp := newRateSampler(cfg.Seed + 97)
+		var out []queries.Result
+		bin := 0
+		for {
+			b, ok := src.NextBatch()
+			if !ok {
+				break
+			}
+			if bin > 0 && bin%10 == 0 {
+				r, _ := q.Flush()
+				out = append(out, r)
+				samp.startInterval()
+			}
+			sb := b
+			if rate < 1 {
+				sb.Pkts = samp.sample(q, b.Pkts, rate)
+			}
+			q.Process(&sb, rate)
+			bin++
+		}
+		r, _ := q.Flush()
+		return append(out, r)
+	}
+	ref := run(1)
+	got := run(rate)
+	metric := mk()
+	var errs []float64
+	for i := range got {
+		if i < len(ref) {
+			errs = append(errs, stats.Clamp(metric.Error(got[i], ref[i]), 0, 1))
+		}
+	}
+	return stats.Mean(errs)
+}
+
+func fig54(cfg Config) (*Result, error) {
+	dur := cfg.dur(15 * time.Second)
+	grid := kGrid(cfg.Quick)
+	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
+	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
+	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
+
+	kind := []struct {
+		name   string
+		scheme system.Scheme
+		strat  sched.Strategy
+		buffer float64
+	}{
+		{"no_lshed", system.NoShed, nil, 2},
+		{"reactive", system.Reactive, nil, 2},
+		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+	}
+	avgFig := Figure{ID: "fig5.4a", Title: "average accuracy vs K", XLabel: "overload level K", YLabel: "accuracy"}
+	minFig := Figure{ID: "fig5.4b", Title: "minimum accuracy vs K", XLabel: "overload level K", YLabel: "accuracy"}
+	for _, kd := range kind {
+		avgS := Series{Name: kd.name}
+		minS := Series{Name: kd.name}
+		for _, k := range grid {
+			res := system.New(system.Config{
+				Scheme: kd.scheme, Capacity: demand * (1 - k),
+				Seed: cfg.Seed + 99, Strategy: kd.strat,
+				BufferBins: kd.buffer, CustomShedding: true,
+			}, mkQs()).Run(srcCESCA2(cfg, dur))
+			accs := system.Accuracies(mkQs(), res, ref, 10)
+			avg, min, _ := meanAccuracy(accs)
+			avgS.X, avgS.Y = append(avgS.X, k), append(avgS.Y, avg)
+			minS.X, minS.Y = append(minS.X, k), append(minS.Y, min)
+		}
+		avgFig.Series = append(avgFig.Series, avgS)
+		minFig.Series = append(minFig.Series, minS)
+	}
+	return &Result{Figures: []Figure{avgFig, minFig}, Notes: []string{
+		"paper shape: mmfs strategies dominate; mmfs_pkt highest minimum accuracy",
+	}}, nil
+}
+
+func fig55(cfg Config) (*Result, error) {
+	dur := cfg.dur(20 * time.Second)
+	const k = 0.2
+	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
+	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
+	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
+
+	fig := Figure{ID: "fig5.5", Title: "autofocus accuracy over time (K=0.2)", XLabel: "interval", YLabel: "accuracy"}
+	for _, kd := range []struct {
+		name   string
+		scheme system.Scheme
+		strat  sched.Strategy
+		buffer float64
+	}{
+		{"no_lshed", system.NoShed, nil, 2},
+		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+	} {
+		res := system.New(system.Config{
+			Scheme: kd.scheme, Capacity: demand * (1 - k),
+			Seed: cfg.Seed + 101, Strategy: kd.strat,
+			BufferBins: kd.buffer, CustomShedding: true,
+		}, mkQs()).Run(srcCESCA2(cfg, dur))
+		accs := system.Accuracies(mkQs(), res, ref, 10)["autofocus"]
+		s := Series{Name: kd.name}
+		for i, a := range accs {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, a)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return &Result{Figures: []Figure{fig}}, nil
+}
+
+func tab52(cfg Config) (*Result, error) {
+	dur := cfg.dur(15 * time.Second)
+	const k = 0.5
+	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
+	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
+	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
+
+	kinds := []struct {
+		name   string
+		scheme system.Scheme
+		strat  sched.Strategy
+		buffer float64
+	}{
+		{"no_lshed", system.NoShed, nil, 2},
+		{"reactive", system.Reactive, nil, 2},
+		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+	}
+	perKind := map[string]map[string]float64{}
+	for _, kd := range kinds {
+		res := system.New(system.Config{
+			Scheme: kd.scheme, Capacity: demand * (1 - k),
+			Seed: cfg.Seed + 103, Strategy: kd.strat,
+			BufferBins: kd.buffer, CustomShedding: true,
+		}, mkQs()).Run(srcCESCA2(cfg, dur))
+		_, _, byQuery := meanAccuracy(system.Accuracies(mkQs(), res, ref, 10))
+		perKind[kd.name] = byQuery
+	}
+	t := Table{
+		ID: "tab5.2", Title: "mq and average accuracy at K=0.5",
+		Columns: []string{"query", "mq", "no_lshed", "reactive", "eq_srates", "mmfs_cpu", "mmfs_pkt"},
+	}
+	for _, q := range mkQs() {
+		row := []string{q.Name(), fmtF(q.MinRate(), 2)}
+		for _, kd := range kinds {
+			row = append(row, fmtF(perKind[kd.name][q.Name()], 2))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return &Result{Tables: []Table{t}}, nil
+}
+
+func nashExp(cfg Config) (*Result, error) {
+	const capacity = 900.0
+	t := Table{
+		ID: "nash", Title: "best-response payoffs around the C/|Q| profile",
+		Columns: []string{"strategy", "players", "fair payoff", "best deviation payoff", "equilibrium"},
+	}
+	for _, strat := range []sched.Strategy{sched.MMFSCPU{}, sched.MMFSPkt{}} {
+		for _, n := range []int{2, 3, 5} {
+			ps := make([]game.Player, n)
+			for i := range ps {
+				ps[i] = game.Player{Name: fmt.Sprintf("q%d", i), Demand: capacity, Claim: capacity / float64(n)}
+			}
+			fair := game.Payoffs(ps, capacity, strat)[0]
+			_, best := game.BestResponse(ps, 0, capacity, strat, 90)
+			eq := game.IsEquilibrium(ps, capacity, strat, 90)
+			t.Rows = append(t.Rows, []string{
+				strat.Name(), fmt.Sprintf("%d", n), fmtF(fair, 1), fmtF(best, 1), fmt.Sprintf("%v", eq),
+			})
+		}
+	}
+	return &Result{Tables: []Table{t},
+		Notes: []string{"Theorem 5.1: the C/|Q| profile is the unique Nash equilibrium"}}, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickCfg() Config {
+	return Config{Seed: 1, Scale: 0.05, Dur: 8 * time.Second, Quick: true}
+}
+
+func TestRegistryNonEmpty(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	titles := Titles()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		if titles[id] == "" {
+			t.Fatalf("experiment %q has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at a small
+// scale and checks the outputs are well-formed and renderable. This is
+// the repository's end-to-end regression net for the whole evaluation.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(res.Tables) == 0 && len(res.Figures) == 0 {
+				t.Fatal("experiment produced no tables or figures")
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Columns) == 0 {
+					t.Errorf("table %s has no columns", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Errorf("table %s: row width %d != %d columns", tb.ID, len(row), len(tb.Columns))
+					}
+				}
+			}
+			for _, f := range res.Figures {
+				for _, s := range f.Series {
+					if len(s.X) != len(s.Y) {
+						t.Errorf("figure %s series %s: x/y length mismatch", f.ID, s.Name)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			Render(&buf, res)
+			if !strings.Contains(buf.String(), res.ID) {
+				t.Error("render output missing experiment id")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run("fig2.2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig2.2", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	Render(&ba, a)
+	Render(&bb, b)
+	if ba.String() != bb.String() {
+		t.Fatal("same config produced different output")
+	}
+}

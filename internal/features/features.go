@@ -1,0 +1,210 @@
+// Package features implements the traffic-feature extraction of thesis
+// §3.2.1: for every 100 ms batch it computes the packet count, the byte
+// count and, for each of the ten header aggregates of Table 3.1, four
+// item counters — unique items in the batch, new items relative to the
+// current measurement interval, repeated items in the batch and repeated
+// items relative to the interval — for a total of 42 features.
+//
+// Distinct counting uses multi-resolution bitmaps so the per-packet cost
+// is deterministic: one H3 hash and one bitmap write per aggregate.
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/hash"
+	"repro/internal/pkt"
+)
+
+// Counter kinds per aggregate, in vector order.
+const (
+	kindUnique = iota
+	kindNew
+	kindRepeated    // packets in batch minus unique items
+	kindIntRepeated // packets in batch minus new items
+	kindsPerAgg
+)
+
+// NumFeatures is the length of a feature vector: packets, bytes, and
+// four counters for each of the ten aggregates.
+const NumFeatures = 2 + pkt.NumAggregates*kindsPerAgg
+
+// Feature vector indices for the two scalar features.
+const (
+	IdxPackets = 0
+	IdxBytes   = 1
+)
+
+// Idx returns the vector index of the given counter kind (kindUnique..
+// kindIntRepeated) for aggregate a.
+func idx(a pkt.Aggregate, kind int) int {
+	return 2 + int(a)*kindsPerAgg + kind
+}
+
+// IdxUnique returns the index of the unique-items feature of aggregate a.
+func IdxUnique(a pkt.Aggregate) int { return idx(a, kindUnique) }
+
+// IdxNew returns the index of the new-items feature of aggregate a.
+func IdxNew(a pkt.Aggregate) int { return idx(a, kindNew) }
+
+// IdxRepeated returns the index of the batch-repeated feature of a.
+func IdxRepeated(a pkt.Aggregate) int { return idx(a, kindRepeated) }
+
+// IdxIntRepeated returns the index of the interval-repeated feature of a.
+func IdxIntRepeated(a pkt.Aggregate) int { return idx(a, kindIntRepeated) }
+
+// Vector is one batch's feature values, indexed by the Idx* helpers.
+type Vector []float64
+
+// Name returns a short human-readable name for feature index i, in the
+// style the thesis uses in Table 3.2 ("new 5-tuple", "packets", ...).
+func Name(i int) string {
+	switch i {
+	case IdxPackets:
+		return "packets"
+	case IdxBytes:
+		return "bytes"
+	}
+	a := pkt.Aggregate((i - 2) / kindsPerAgg)
+	switch (i - 2) % kindsPerAgg {
+	case kindUnique:
+		return fmt.Sprintf("unique %s", a)
+	case kindNew:
+		return fmt.Sprintf("new %s", a)
+	case kindRepeated:
+		return fmt.Sprintf("repeated %s", a)
+	default:
+		return fmt.Sprintf("int-repeated %s", a)
+	}
+}
+
+// Names returns the names of all features in vector order.
+func Names() []string {
+	out := make([]string, NumFeatures)
+	for i := range out {
+		out[i] = Name(i)
+	}
+	return out
+}
+
+// Extractor computes feature vectors from batches. It keeps two bitmaps
+// per aggregate: one reset per batch (unique counts) and one reset per
+// measurement interval (new counts); the interval bitmap is updated by
+// ORing the batch bitmap into it, exactly as described in §3.2.1.
+//
+// The zero value is unusable; construct with NewExtractor.
+type Extractor struct {
+	h3       [pkt.NumAggregates]*hash.H3
+	batch    [pkt.NumAggregates]*bitmap.MultiRes
+	interval [pkt.NumAggregates]*bitmap.MultiRes
+	intEst   [pkt.NumAggregates]float64 // current interval-bitmap estimate
+	keyBuf   []byte
+
+	// Ops counts hash+insert operations performed, so the experiment
+	// harness can charge feature extraction its deterministic cost
+	// (Table 3.4).
+	Ops int64
+}
+
+// NewExtractor returns an extractor whose hash functions derive from
+// seed.
+func NewExtractor(seed uint64) *Extractor {
+	e := &Extractor{keyBuf: make([]byte, 0, 16)}
+	for a := 0; a < pkt.NumAggregates; a++ {
+		e.h3[a] = hash.NewH3(seed + uint64(a)*0x9e3779b97f4a7c15)
+		e.batch[a] = bitmap.NewMultiRes(2048, 16)
+		e.interval[a] = bitmap.NewMultiRes(2048, 16)
+	}
+	return e
+}
+
+// StartInterval resets the per-interval state. Call it at every
+// measurement-interval boundary before extracting the interval's first
+// batch.
+func (e *Extractor) StartInterval() {
+	for a := 0; a < pkt.NumAggregates; a++ {
+		e.interval[a].Reset()
+		e.intEst[a] = 0
+	}
+}
+
+// ExtractFromBatchOf computes a feature vector for the batch most
+// recently extracted by src, relative to e's own interval state. It
+// merges src's per-batch bitmaps into e's interval bitmaps instead of
+// re-hashing every packet, which is exactly what a query whose sampling
+// rate is 1 can do: its stream is identical to the full stream, so no
+// re-extraction is needed (§4.3 — features are only re-extracted "after
+// sampling"). Both extractors must share bitmap geometry (they do, by
+// construction).
+func (e *Extractor) ExtractFromBatchOf(src *Extractor, npkts, nbytes float64) Vector {
+	v := make(Vector, NumFeatures)
+	v[IdxPackets] = npkts
+	v[IdxBytes] = nbytes
+	for a := 0; a < pkt.NumAggregates; a++ {
+		unique := src.batch[a].Estimate()
+		e.interval[a].MergeFrom(src.batch[a])
+		after := e.interval[a].Estimate()
+		newItems := after - e.intEst[a]
+		e.intEst[a] = after
+		if newItems < 0 {
+			newItems = 0
+		}
+		if unique > npkts {
+			unique = npkts
+		}
+		if newItems > unique {
+			newItems = unique
+		}
+		agg := pkt.Aggregate(a)
+		v[IdxUnique(agg)] = unique
+		v[IdxNew(agg)] = newItems
+		v[IdxRepeated(agg)] = npkts - unique
+		v[IdxIntRepeated(agg)] = npkts - newItems
+	}
+	return v
+}
+
+// Extract computes the feature vector of b.
+func (e *Extractor) Extract(b *pkt.Batch) Vector {
+	v := make(Vector, NumFeatures)
+	v[IdxPackets] = float64(b.Packets())
+	v[IdxBytes] = float64(b.Bytes())
+
+	for a := 0; a < pkt.NumAggregates; a++ {
+		e.batch[a].Reset()
+	}
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		for a := 0; a < pkt.NumAggregates; a++ {
+			e.keyBuf = p.AppendAggKey(e.keyBuf[:0], pkt.Aggregate(a))
+			h := hash.Mix64(e.h3[a].Hash(e.keyBuf))
+			e.batch[a].Insert(h)
+			e.Ops++
+		}
+	}
+
+	npkts := v[IdxPackets]
+	for a := 0; a < pkt.NumAggregates; a++ {
+		unique := e.batch[a].Estimate()
+		e.interval[a].MergeFrom(e.batch[a])
+		after := e.interval[a].Estimate()
+		newItems := after - e.intEst[a]
+		e.intEst[a] = after
+		if newItems < 0 {
+			newItems = 0
+		}
+		if unique > npkts {
+			unique = npkts
+		}
+		if newItems > unique {
+			newItems = unique
+		}
+		agg := pkt.Aggregate(a)
+		v[IdxUnique(agg)] = unique
+		v[IdxNew(agg)] = newItems
+		v[IdxRepeated(agg)] = npkts - unique
+		v[IdxIntRepeated(agg)] = npkts - newItems
+	}
+	return v
+}

@@ -1,0 +1,205 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+func mkBatch(pkts ...pkt.Packet) *pkt.Batch {
+	return &pkt.Batch{Bin: 100 * time.Millisecond, Pkts: pkts}
+}
+
+func p(src, dst uint32, sp, dp uint16, size int) pkt.Packet {
+	return pkt.Packet{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: pkt.ProtoTCP, Size: size}
+}
+
+func TestVectorLength(t *testing.T) {
+	if NumFeatures != 42 {
+		t.Fatalf("NumFeatures = %d, want 42 (thesis count)", NumFeatures)
+	}
+	e := NewExtractor(1)
+	v := e.Extract(mkBatch(p(1, 2, 3, 4, 100)))
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length = %d", len(v))
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	if names[IdxPackets] != "packets" || names[IdxBytes] != "bytes" {
+		t.Fatalf("scalar names wrong: %q %q", names[0], names[1])
+	}
+	if got := Name(IdxNew(pkt.Agg5Tuple)); got != "new 5-tuple" {
+		t.Fatalf("Name(new 5-tuple) = %q", got)
+	}
+}
+
+func TestPacketsAndBytes(t *testing.T) {
+	e := NewExtractor(1)
+	v := e.Extract(mkBatch(p(1, 2, 3, 4, 100), p(1, 2, 3, 4, 200)))
+	if v[IdxPackets] != 2 {
+		t.Errorf("packets = %v", v[IdxPackets])
+	}
+	if v[IdxBytes] != 300 {
+		t.Errorf("bytes = %v", v[IdxBytes])
+	}
+}
+
+func TestUniqueCounts(t *testing.T) {
+	e := NewExtractor(1)
+	// Two packets from the same flow, one from a different source.
+	v := e.Extract(mkBatch(
+		p(10, 2, 5, 80, 100),
+		p(10, 2, 5, 80, 100),
+		p(11, 2, 6, 80, 100),
+	))
+	if got := v[IdxUnique(pkt.AggSrcIP)]; math.Abs(got-2) > 0.2 {
+		t.Errorf("unique src-ip = %v, want ~2", got)
+	}
+	if got := v[IdxUnique(pkt.AggDstIP)]; math.Abs(got-1) > 0.2 {
+		t.Errorf("unique dst-ip = %v, want ~1", got)
+	}
+	if got := v[IdxUnique(pkt.Agg5Tuple)]; math.Abs(got-2) > 0.2 {
+		t.Errorf("unique 5-tuple = %v, want ~2", got)
+	}
+	if got := v[IdxRepeated(pkt.Agg5Tuple)]; math.Abs(got-1) > 0.2 {
+		t.Errorf("repeated 5-tuple = %v, want ~1", got)
+	}
+}
+
+func TestNewItemsAcrossBatches(t *testing.T) {
+	e := NewExtractor(1)
+	e.StartInterval()
+	v1 := e.Extract(mkBatch(p(10, 2, 5, 80, 100), p(11, 2, 5, 80, 100)))
+	if got := v1[IdxNew(pkt.AggSrcIP)]; math.Abs(got-2) > 0.2 {
+		t.Fatalf("first batch new src-ip = %v, want ~2", got)
+	}
+	// Second batch repeats one source and adds one more.
+	v2 := e.Extract(mkBatch(p(10, 2, 5, 80, 100), p(12, 2, 5, 80, 100)))
+	if got := v2[IdxNew(pkt.AggSrcIP)]; math.Abs(got-1) > 0.3 {
+		t.Fatalf("second batch new src-ip = %v, want ~1", got)
+	}
+	if got := v2[IdxIntRepeated(pkt.AggSrcIP)]; math.Abs(got-1) > 0.3 {
+		t.Fatalf("second batch int-repeated src-ip = %v, want ~1", got)
+	}
+}
+
+func TestStartIntervalResetsNewCounts(t *testing.T) {
+	e := NewExtractor(1)
+	e.StartInterval()
+	e.Extract(mkBatch(p(10, 2, 5, 80, 100)))
+	v := e.Extract(mkBatch(p(10, 2, 5, 80, 100)))
+	if got := v[IdxNew(pkt.AggSrcIP)]; got > 0.3 {
+		t.Fatalf("repeat source counted as new: %v", got)
+	}
+	e.StartInterval()
+	v = e.Extract(mkBatch(p(10, 2, 5, 80, 100)))
+	if got := v[IdxNew(pkt.AggSrcIP)]; math.Abs(got-1) > 0.2 {
+		t.Fatalf("after StartInterval new src-ip = %v, want ~1", got)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	e := NewExtractor(1)
+	v := e.Extract(mkBatch())
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("feature %s = %v for empty batch", Name(i), x)
+		}
+	}
+}
+
+func TestInvariantsOnGeneratedTraffic(t *testing.T) {
+	g := trace.NewGenerator(trace.Config{Seed: 3, Duration: 2 * time.Second, PacketsPerSec: 5000})
+	e := NewExtractor(7)
+	e.StartInterval()
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		v := e.Extract(&b)
+		npkts := v[IdxPackets]
+		for a := 0; a < pkt.NumAggregates; a++ {
+			agg := pkt.Aggregate(a)
+			u, nw := v[IdxUnique(agg)], v[IdxNew(agg)]
+			if u < 0 || nw < 0 {
+				t.Fatalf("negative counter for %v", agg)
+			}
+			if u > npkts+0.5 {
+				t.Fatalf("unique %v = %v exceeds packets %v", agg, u, npkts)
+			}
+			if nw > u+0.5 {
+				t.Fatalf("new %v = %v exceeds unique %v", agg, nw, u)
+			}
+			if v[IdxRepeated(agg)] != npkts-u {
+				t.Fatalf("repeated invariant broken for %v", agg)
+			}
+			if v[IdxIntRepeated(agg)] != npkts-nw {
+				t.Fatalf("int-repeated invariant broken for %v", agg)
+			}
+		}
+	}
+}
+
+func TestAccuracyAgainstExactCounts(t *testing.T) {
+	// Compare bitmap estimates to exact distinct counts on real-ish
+	// traffic; thesis dimensions the bitmaps for ~1% error, allow 5%.
+	g := trace.NewGenerator(trace.Config{Seed: 5, Duration: time.Second, PacketsPerSec: 20000})
+	e := NewExtractor(9)
+	e.StartInterval()
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		v := e.Extract(&b)
+		exact := map[pkt.FlowKey]bool{}
+		srcs := map[uint32]bool{}
+		for _, q := range b.Pkts {
+			exact[q.FlowKey()] = true
+			srcs[q.SrcIP] = true
+		}
+		got := v[IdxUnique(pkt.Agg5Tuple)]
+		want := float64(len(exact))
+		if want > 100 && math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("unique 5-tuple estimate %v vs exact %v", got, want)
+		}
+		gotS := v[IdxUnique(pkt.AggSrcIP)]
+		wantS := float64(len(srcs))
+		if wantS > 100 && math.Abs(gotS-wantS)/wantS > 0.05 {
+			t.Fatalf("unique src-ip estimate %v vs exact %v", gotS, wantS)
+		}
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	e := NewExtractor(1)
+	e.Extract(mkBatch(p(1, 2, 3, 4, 100), p(5, 6, 7, 8, 100)))
+	if e.Ops != 2*pkt.NumAggregates {
+		t.Fatalf("Ops = %d, want %d", e.Ops, 2*pkt.NumAggregates)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	g := trace.NewGenerator(trace.Config{Seed: 1, Duration: time.Hour, PacketsPerSec: 25000})
+	batch, _ := g.NextBatch()
+	e := NewExtractor(1)
+	e.StartInterval()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Extract(&batch)
+	}
+}

@@ -1,0 +1,216 @@
+// Package linalg provides the small dense linear algebra kernel the
+// prediction subsystem needs: a matrix type, a singular value
+// decomposition and an SVD-backed least-squares solver. The thesis
+// (§3.2.2) solves the OLS system with SVD precisely because it remains
+// well-behaved on over- or under-determined and multicollinear systems,
+// and so does this implementation.
+//
+// The SVD uses one-sided Jacobi rotations, which is compact, numerically
+// robust and comfortably fast at the sizes the predictor produces
+// (n ≈ 60 history rows by p ≈ a dozen selected features).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m · x. It panics if len(x) != m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SVDResult holds a thin SVD: A = U · diag(S) · Vᵀ with U of shape
+// (Rows×Cols), S of length Cols (descending) and V of shape (Cols×Cols).
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition of a, which must
+// have Rows >= Cols (the least-squares caller guarantees this by
+// construction; pad with zero rows otherwise).
+func SVD(a *Matrix) SVDResult {
+	if a.Rows < a.Cols {
+		panic("linalg: SVD requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	g := a.Clone() // columns of g are rotated until mutually orthogonal
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 60
+	// Convergence when every column pair is orthogonal to machine
+	// precision relative to the column norms.
+	eps := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					gp := g.At(i, p)
+					gq := g.At(i, q)
+					alpha += gp * gp
+					beta += gq * gq
+					gamma += gp * gq
+				}
+				if gamma == 0 || gamma*gamma <= eps*eps*alpha*beta {
+					continue
+				}
+				rotated = true
+				// Jacobi rotation that zeroes the (p,q) column inner
+				// product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					gp := g.At(i, p)
+					gq := g.At(i, q)
+					g.Set(i, p, c*gp-s*gq)
+					g.Set(i, q, s*gp+c*gq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Singular values are the column norms of g; U's columns are the
+	// normalized columns.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += g.At(i, j) * g.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, g.At(i, j)/norm)
+			}
+		}
+	}
+
+	// Sort singular values (and matching columns) in descending order.
+	for i := 0; i < n; i++ {
+		maxJ := i
+		for j := i + 1; j < n; j++ {
+			if s[j] > s[maxJ] {
+				maxJ = j
+			}
+		}
+		if maxJ != i {
+			s[i], s[maxJ] = s[maxJ], s[i]
+			swapCols(u, i, maxJ)
+			swapCols(v, i, maxJ)
+		}
+	}
+	return SVDResult{U: u, S: s, V: v}
+}
+
+func swapCols(m *Matrix, a, b int) {
+	for i := 0; i < m.Rows; i++ {
+		va, vb := m.At(i, a), m.At(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}
+
+// rcondTol is the relative tolerance under which singular values are
+// treated as zero by the least-squares solver, which is what makes
+// multicollinear predictor sets harmless (§3.2.2 assumption (i) becomes
+// a non-issue).
+const rcondTol = 1e-10
+
+// LeastSquares returns the minimum-norm x minimizing ‖A·x − b‖₂, solved
+// through the SVD pseudo-inverse. It panics when len(b) != A.Rows.
+func LeastSquares(a *Matrix, b []float64) []float64 {
+	if len(b) != a.Rows {
+		panic("linalg: LeastSquares dimension mismatch")
+	}
+	work := a
+	rhs := b
+	if a.Rows < a.Cols {
+		// Pad with zero rows so SVD's thin-shape requirement holds; the
+		// minimum-norm solution is unchanged.
+		work = NewMatrix(a.Cols, a.Cols)
+		copy(work.Data, a.Data)
+		rhs = make([]float64, a.Cols)
+		copy(rhs, b)
+	}
+	svd := SVD(work)
+	n := work.Cols
+	x := make([]float64, n)
+	if len(svd.S) == 0 || svd.S[0] == 0 {
+		return x
+	}
+	tol := svd.S[0] * rcondTol
+	for k := 0; k < n; k++ {
+		if svd.S[k] <= tol {
+			continue
+		}
+		// coefficient along v_k: (u_k · b) / s_k
+		var ub float64
+		for i := 0; i < work.Rows; i++ {
+			ub += svd.U.At(i, k) * rhs[i]
+		}
+		ub /= svd.S[k]
+		for j := 0; j < n; j++ {
+			x[j] += ub * svd.V.At(j, k)
+		}
+	}
+	return x
+}

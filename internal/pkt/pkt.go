@@ -1,0 +1,194 @@
+// Package pkt defines the packet, flow-key and batch types that flow
+// through the monitoring pipeline, mirroring CoMo's unified packet
+// stream (thesis §2.1.2). Timestamps are virtual: the whole system is
+// trace-clocked, so a nanosecond int64 carries all the time information
+// the pipeline needs and experiments are deterministic.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Protocol numbers (IANA) used by the generator and queries.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// TCP flag bits carried in Packet.TCPFlags.
+const (
+	FlagFIN = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// Packet is one captured packet. Size is the wire length; Payload holds
+// up to SnapLen bytes of application payload (nil in header-only
+// traces), like a snaplen-limited capture.
+type Packet struct {
+	Ts       int64 // virtual capture time, nanoseconds
+	SrcIP    uint32
+	DstIP    uint32
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+	TCPFlags uint8
+	Size     int // wire length in bytes
+	Payload  []byte
+}
+
+// SnapLen is the maximum payload bytes captured per packet.
+const SnapLen = 256
+
+// FlowKeySize is the length in bytes of a serialized 5-tuple key.
+const FlowKeySize = 13
+
+// FlowKey is the canonical serialized 5-tuple: src IP, dst IP, src
+// port, dst port, protocol. It is comparable and therefore usable as a
+// map key.
+type FlowKey [FlowKeySize]byte
+
+// FlowKey returns the packet's 5-tuple key.
+func (p *Packet) FlowKey() FlowKey {
+	var k FlowKey
+	binary.BigEndian.PutUint32(k[0:4], p.SrcIP)
+	binary.BigEndian.PutUint32(k[4:8], p.DstIP)
+	binary.BigEndian.PutUint16(k[8:10], p.SrcPort)
+	binary.BigEndian.PutUint16(k[10:12], p.DstPort)
+	k[12] = p.Proto
+	return k
+}
+
+// String renders the key in src -> dst form for logs and tests.
+func (k FlowKey) String() string {
+	src := netip.AddrFrom4([4]byte(k[0:4]))
+	dst := netip.AddrFrom4([4]byte(k[4:8]))
+	sp := binary.BigEndian.Uint16(k[8:10])
+	dp := binary.BigEndian.Uint16(k[10:12])
+	return fmt.Sprintf("%s:%d -> %s:%d /%d", src, sp, dst, dp, k[12])
+}
+
+// Aggregate identifies one of the traffic aggregates of Table 3.1 —
+// the header-field combinations over which the feature extractor counts
+// unique/new/repeated items.
+type Aggregate int
+
+// The ten aggregates of Table 3.1, in table order.
+const (
+	AggSrcIP Aggregate = iota
+	AggDstIP
+	AggProto
+	AggSrcDstIP
+	AggSrcPortProto
+	AggDstPortProto
+	AggSrcIPSrcPortProto
+	AggDstIPDstPortProto
+	AggSrcDstPortProto
+	Agg5Tuple
+
+	NumAggregates = 10
+)
+
+var aggregateNames = [NumAggregates]string{
+	"src-ip",
+	"dst-ip",
+	"proto",
+	"src-dst-ip",
+	"src-port-proto",
+	"dst-port-proto",
+	"src-ip-src-port-proto",
+	"dst-ip-dst-port-proto",
+	"src-dst-port-proto",
+	"5-tuple",
+}
+
+// String returns the thesis name for the aggregate.
+func (a Aggregate) String() string {
+	if a < 0 || int(a) >= NumAggregates {
+		return fmt.Sprintf("aggregate(%d)", int(a))
+	}
+	return aggregateNames[a]
+}
+
+// AppendAggKey appends the packet's key bytes for aggregate a to buf and
+// returns the extended slice. Keys are fixed-width per aggregate so the
+// caller can reuse one buffer across packets.
+func (p *Packet) AppendAggKey(buf []byte, a Aggregate) []byte {
+	switch a {
+	case AggSrcIP:
+		return binary.BigEndian.AppendUint32(buf, p.SrcIP)
+	case AggDstIP:
+		return binary.BigEndian.AppendUint32(buf, p.DstIP)
+	case AggProto:
+		return append(buf, p.Proto)
+	case AggSrcDstIP:
+		buf = binary.BigEndian.AppendUint32(buf, p.SrcIP)
+		return binary.BigEndian.AppendUint32(buf, p.DstIP)
+	case AggSrcPortProto:
+		buf = binary.BigEndian.AppendUint16(buf, p.SrcPort)
+		return append(buf, p.Proto)
+	case AggDstPortProto:
+		buf = binary.BigEndian.AppendUint16(buf, p.DstPort)
+		return append(buf, p.Proto)
+	case AggSrcIPSrcPortProto:
+		buf = binary.BigEndian.AppendUint32(buf, p.SrcIP)
+		buf = binary.BigEndian.AppendUint16(buf, p.SrcPort)
+		return append(buf, p.Proto)
+	case AggDstIPDstPortProto:
+		buf = binary.BigEndian.AppendUint32(buf, p.DstIP)
+		buf = binary.BigEndian.AppendUint16(buf, p.DstPort)
+		return append(buf, p.Proto)
+	case AggSrcDstPortProto:
+		buf = binary.BigEndian.AppendUint16(buf, p.SrcPort)
+		buf = binary.BigEndian.AppendUint16(buf, p.DstPort)
+		return append(buf, p.Proto)
+	case Agg5Tuple:
+		k := p.FlowKey()
+		return append(buf, k[:]...)
+	default:
+		panic(fmt.Sprintf("pkt: unknown aggregate %d", int(a)))
+	}
+}
+
+// Batch is the set of packets collected during one time bin (§2.4). The
+// monitoring system processes one batch at a time; 100 ms is the bin
+// used throughout the thesis.
+type Batch struct {
+	Start time.Duration // offset of the bin start from trace start
+	Bin   time.Duration // bin length
+	Pkts  []Packet
+}
+
+// Packets returns the number of packets in the batch.
+func (b *Batch) Packets() int { return len(b.Pkts) }
+
+// Bytes returns the total wire bytes in the batch.
+func (b *Batch) Bytes() int {
+	n := 0
+	for i := range b.Pkts {
+		n += b.Pkts[i].Size
+	}
+	return n
+}
+
+// CapturedBytes returns the total captured payload bytes in the batch,
+// which is what payload-scanning queries actually touch.
+func (b *Batch) CapturedBytes() int {
+	n := 0
+	for i := range b.Pkts {
+		n += len(b.Pkts[i].Payload)
+	}
+	return n
+}
+
+// IPv4 builds a uint32 address from dotted quads, for readable tests
+// and generator configs.
+func IPv4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}

@@ -1,0 +1,352 @@
+// Package predict implements the resource-usage prediction of thesis
+// Chapter 3: an on-line multiple linear regression over a sliding
+// history of (feature vector, cost) observations, with Fast
+// Correlation-Based Filter feature selection, plus the two baseline
+// predictors the chapter compares against (EWMA and simple linear
+// regression) and the last-value predictor used by the reactive load
+// shedding baseline.
+package predict
+
+import (
+	"repro/internal/features"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Predictor estimates the processing cost of a batch from its traffic
+// features. Implementations treat the monitored query as a black box:
+// they see only feature vectors and realized costs.
+type Predictor interface {
+	// Predict returns the estimated cost (in cycles) of processing the
+	// batch whose features are f.
+	Predict(f features.Vector) float64
+	// Observe feeds back the measured cost of the batch whose features
+	// are f, extending the model's history.
+	Observe(f features.Vector, cost float64)
+	// Name identifies the method ("mlr", "slr", "ewma", ...).
+	Name() string
+}
+
+// History is a sliding window of (features, cost) observations — the
+// "n" of Equation 3.2. The zero value is unusable; construct with
+// NewHistory.
+type History struct {
+	capacity int
+	feats    []features.Vector
+	costs    []float64
+	next     int
+	full     bool
+}
+
+// NewHistory returns a history holding up to n observations.
+func NewHistory(n int) *History {
+	if n < 1 {
+		panic("predict: history capacity must be positive")
+	}
+	return &History{
+		capacity: n,
+		feats:    make([]features.Vector, n),
+		costs:    make([]float64, n),
+	}
+}
+
+// Add appends an observation, evicting the oldest when full.
+func (h *History) Add(f features.Vector, cost float64) {
+	cp := make(features.Vector, len(f))
+	copy(cp, f)
+	h.feats[h.next] = cp
+	h.costs[h.next] = cost
+	h.next = (h.next + 1) % h.capacity
+	if h.next == 0 {
+		h.full = true
+	}
+}
+
+// Len returns the number of stored observations.
+func (h *History) Len() int {
+	if h.full {
+		return h.capacity
+	}
+	return h.next
+}
+
+// Cap returns the history capacity.
+func (h *History) Cap() int { return h.capacity }
+
+// Costs returns the stored costs (unspecified order; OLS and Pearson
+// are order-invariant). The returned slice is freshly allocated.
+func (h *History) Costs() []float64 {
+	n := h.Len()
+	out := make([]float64, n)
+	copy(out, h.costs[:n])
+	return out
+}
+
+// Column returns feature j across the stored observations, matching the
+// order of Costs.
+func (h *History) Column(j int) []float64 {
+	n := h.Len()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = h.feats[i][j]
+	}
+	return out
+}
+
+// MeanCost returns the average stored cost (0 when empty), the cold
+// start fallback prediction.
+func (h *History) MeanCost() float64 {
+	return stats.Mean(h.Costs())
+}
+
+// FCBF selects relevant, non-redundant predictors from cols (one slice
+// per candidate feature, all of equal length) for response y. It is the
+// thesis' variant of the Fast Correlation-Based Filter (§3.2.3): the
+// goodness measure is the absolute Pearson coefficient rather than
+// symmetrical uncertainty.
+//
+// Phase 1 keeps features with |r(X_j, y)| >= threshold (falling back to
+// the single best feature if none qualifies). Phase 2 walks the
+// survivors in descending relevance and removes every later feature
+// whose correlation with an earlier survivor exceeds its own
+// correlation with the response.
+func FCBF(cols [][]float64, y []float64, threshold float64) []int {
+	type cand struct {
+		idx int
+		r   float64
+	}
+	var cands []cand
+	best := cand{idx: -1}
+	for j, col := range cols {
+		r := stats.Pearson(col, y)
+		if r < 0 {
+			r = -r
+		}
+		if r > best.r {
+			best = cand{idx: j, r: r}
+		}
+		if r >= threshold {
+			cands = append(cands, cand{idx: j, r: r})
+		}
+	}
+	if len(cands) == 0 {
+		if best.idx < 0 {
+			return nil
+		}
+		return []int{best.idx}
+	}
+	// Descending relevance (stable on ties by original index).
+	for i := 1; i < len(cands); i++ {
+		for k := i; k > 0 && (cands[k].r > cands[k-1].r ||
+			(cands[k].r == cands[k-1].r && cands[k].idx < cands[k-1].idx)); k-- {
+			cands[k], cands[k-1] = cands[k-1], cands[k]
+		}
+	}
+	removed := make([]bool, len(cands))
+	for i := range cands {
+		if removed[i] {
+			continue
+		}
+		for j := i + 1; j < len(cands); j++ {
+			if removed[j] {
+				continue
+			}
+			r := stats.Pearson(cols[cands[i].idx], cols[cands[j].idx])
+			if r < 0 {
+				r = -r
+			}
+			// The epsilon absorbs rounding in the two Pearson
+			// computations; without it an exactly-duplicated column can
+			// survive its own redundancy check.
+			if r >= cands[j].r-1e-9 {
+				removed[j] = true
+			}
+		}
+	}
+	var out []int
+	for i, c := range cands {
+		if !removed[i] {
+			out = append(out, c.idx)
+		}
+	}
+	return out
+}
+
+// MLR is the thesis' predictor: FCBF feature selection plus an
+// SVD-solved multiple linear regression, refitted on every prediction so
+// the model tracks traffic changes (§3.1). Construct with NewMLR.
+type MLR struct {
+	hist      *History
+	threshold float64
+
+	// MinHistory is the observation count below which Predict falls
+	// back to the mean observed cost (a fresh model with fewer rows
+	// than predictors is meaningless).
+	MinHistory int
+
+	selected []int
+	coef     []float64 // intercept followed by per-selected coefficients
+
+	// Op counters for the overhead accounting of Table 3.4.
+	FCBFOps int64 // scalar multiplies spent in correlation scans
+	FitOps  int64 // scalar multiplies spent in the OLS solve
+}
+
+// DefaultHistory and DefaultThreshold are the operating point chosen in
+// §3.3.1: 60 batches (6 s) of history and an FCBF threshold of 0.6.
+const (
+	DefaultHistory   = 60
+	DefaultThreshold = 0.6
+)
+
+// NewMLR returns an MLR predictor with the given history length and
+// FCBF threshold.
+func NewMLR(history int, threshold float64) *MLR {
+	return &MLR{
+		hist:       NewHistory(history),
+		threshold:  threshold,
+		MinHistory: 8,
+	}
+}
+
+// Name implements Predictor.
+func (m *MLR) Name() string { return "mlr" }
+
+// Observe implements Predictor.
+func (m *MLR) Observe(f features.Vector, cost float64) { m.hist.Add(f, cost) }
+
+// History exposes the predictor's observation window (used by the load
+// shedding system to overwrite context-switch-corrupted measurements
+// with predictions, §3.2.4).
+func (m *MLR) History() *History { return m.hist }
+
+// Selected returns the feature indices chosen by the last fit.
+func (m *MLR) Selected() []int { return m.selected }
+
+// Predict implements Predictor: select features, fit OLS on the current
+// history and evaluate the model at f.
+func (m *MLR) Predict(f features.Vector) float64 {
+	n := m.hist.Len()
+	if n < m.MinHistory {
+		return m.hist.MeanCost()
+	}
+	y := m.hist.Costs()
+	cols := make([][]float64, features.NumFeatures)
+	for j := range cols {
+		cols[j] = m.hist.Column(j)
+	}
+	m.selected = FCBF(cols, y, m.threshold)
+	m.FCBFOps += int64(n * features.NumFeatures)
+	if len(m.selected) == 0 {
+		return m.hist.MeanCost()
+	}
+
+	p := len(m.selected)
+	a := linalg.NewMatrix(n, p+1)
+	for i := 0; i < n; i++ {
+		a.Set(i, 0, 1)
+		for k, j := range m.selected {
+			a.Set(i, k+1, cols[j][i])
+		}
+	}
+	m.coef = linalg.LeastSquares(a, y)
+	m.FitOps += int64(n * (p + 1) * (p + 1))
+
+	pred := m.coef[0]
+	for k, j := range m.selected {
+		pred += m.coef[k+1] * f[j]
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}
+
+// SLR is the simple linear regression baseline (§3.4.1): one fixed
+// predictor variable, the packet count unless configured otherwise.
+type SLR struct {
+	hist    *History
+	Feature int
+}
+
+// NewSLR returns an SLR predictor over the given history length using
+// feature index feat (typically features.IdxPackets).
+func NewSLR(history, feat int) *SLR {
+	return &SLR{hist: NewHistory(history), Feature: feat}
+}
+
+// Name implements Predictor.
+func (s *SLR) Name() string { return "slr" }
+
+// Observe implements Predictor.
+func (s *SLR) Observe(f features.Vector, cost float64) { s.hist.Add(f, cost) }
+
+// Predict implements Predictor using the closed-form OLS line fit.
+func (s *SLR) Predict(f features.Vector) float64 {
+	n := s.hist.Len()
+	if n < 2 {
+		return s.hist.MeanCost()
+	}
+	xs := s.hist.Column(s.Feature)
+	ys := s.hist.Costs()
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return my
+	}
+	b1 := sxy / sxx
+	b0 := my - b1*mx
+	pred := b0 + b1*f[s.Feature]
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}
+
+// EWMA is the exponentially weighted moving average baseline (§3.4.1,
+// Equation 3.4). It ignores traffic features entirely — which is
+// exactly why it trails traffic changes.
+type EWMA struct {
+	avg *stats.EWMA
+}
+
+// DefaultEWMAAlpha is the weight the thesis found best (Figure 3.10).
+const DefaultEWMAAlpha = 0.3
+
+// NewEWMA returns an EWMA predictor with the given weight.
+func NewEWMA(alpha float64) *EWMA {
+	return &EWMA{avg: stats.NewEWMA(alpha)}
+}
+
+// Name implements Predictor.
+func (e *EWMA) Name() string { return "ewma" }
+
+// Observe implements Predictor.
+func (e *EWMA) Observe(_ features.Vector, cost float64) { e.avg.Update(cost) }
+
+// Predict implements Predictor.
+func (e *EWMA) Predict(_ features.Vector) float64 { return e.avg.Value() }
+
+// Last predicts that the next batch costs exactly what the previous one
+// did — the implicit model of the reactive load shedding baseline
+// (§4.5.1).
+type Last struct {
+	cost float64
+}
+
+// NewLast returns a last-value predictor.
+func NewLast() *Last { return &Last{} }
+
+// Name implements Predictor.
+func (l *Last) Name() string { return "last" }
+
+// Observe implements Predictor.
+func (l *Last) Observe(_ features.Vector, cost float64) { l.cost = cost }
+
+// Predict implements Predictor.
+func (l *Last) Predict(_ features.Vector) float64 { return l.cost }

@@ -1,0 +1,337 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/hash"
+	"repro/internal/stats"
+)
+
+// synth fills a feature vector with zeros except the given indices.
+func synth(vals map[int]float64) features.Vector {
+	v := make(features.Vector, features.NumFeatures)
+	for i, x := range vals {
+		v[i] = x
+	}
+	return v
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(3)
+	if h.Len() != 0 {
+		t.Fatal("new history not empty")
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(synth(map[int]float64{0: float64(i)}), float64(i))
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	costs := h.Costs()
+	sum := 0.0
+	for _, c := range costs {
+		sum += c
+	}
+	if sum != 2+3+4 {
+		t.Fatalf("ring kept wrong elements: %v", costs)
+	}
+}
+
+func TestHistoryCopiesVectors(t *testing.T) {
+	h := NewHistory(2)
+	v := synth(map[int]float64{0: 1})
+	h.Add(v, 10)
+	v[0] = 999
+	if got := h.Column(0)[0]; got != 1 {
+		t.Fatalf("history aliased caller's vector: %v", got)
+	}
+}
+
+func TestHistoryPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistory(0)
+}
+
+func TestFCBFPhase1Threshold(t *testing.T) {
+	rng := hash.NewXorShift(1)
+	n := 100
+	relevant := make([]float64, n)
+	noise := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		relevant[i] = float64(i)
+		noise[i] = rng.NormFloat64()
+		y[i] = 3*relevant[i] + 0.01*rng.NormFloat64()
+	}
+	sel := FCBF([][]float64{noise, relevant}, y, 0.6)
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("FCBF selected %v, want [1]", sel)
+	}
+}
+
+func TestFCBFRemovesRedundant(t *testing.T) {
+	n := 100
+	x := make([]float64, n)
+	dup := make([]float64, n)
+	y := make([]float64, n)
+	rng := hash.NewXorShift(2)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		dup[i] = 2 * x[i] // perfectly redundant
+		y[i] = 5 * x[i]
+	}
+	sel := FCBF([][]float64{x, dup}, y, 0.6)
+	if len(sel) != 1 {
+		t.Fatalf("FCBF kept redundant feature: %v", sel)
+	}
+}
+
+func TestFCBFKeepsComplementaryFeatures(t *testing.T) {
+	n := 200
+	rng := hash.NewXorShift(3)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+		y[i] = a[i] + b[i]
+	}
+	sel := FCBF([][]float64{a, b}, y, 0.3)
+	if len(sel) != 2 {
+		t.Fatalf("FCBF dropped a complementary feature: %v", sel)
+	}
+}
+
+func TestFCBFFallsBackToBest(t *testing.T) {
+	n := 50
+	rng := hash.NewXorShift(4)
+	weak := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weak[i] = rng.NormFloat64()
+		y[i] = 0.3*weak[i] + rng.NormFloat64()
+	}
+	sel := FCBF([][]float64{weak}, y, 0.99)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("FCBF fallback = %v, want [0]", sel)
+	}
+}
+
+func TestFCBFEmptyInput(t *testing.T) {
+	if sel := FCBF(nil, nil, 0.5); sel != nil {
+		t.Fatalf("FCBF(nil) = %v", sel)
+	}
+}
+
+func TestMLRColdStartUsesMean(t *testing.T) {
+	m := NewMLR(DefaultHistory, DefaultThreshold)
+	f := synth(map[int]float64{features.IdxPackets: 100})
+	if got := m.Predict(f); got != 0 {
+		t.Fatalf("cold prediction = %v, want 0", got)
+	}
+	m.Observe(f, 500)
+	m.Observe(f, 700)
+	if got := m.Predict(f); got != 600 {
+		t.Fatalf("fallback prediction = %v, want mean 600", got)
+	}
+}
+
+func TestMLRLearnsLinearCost(t *testing.T) {
+	// Cost = 1000 + 50*packets + 2*new5tuple, exactly the structure the
+	// predictor is built for.
+	m := NewMLR(DefaultHistory, DefaultThreshold)
+	rng := hash.NewXorShift(5)
+	i5 := features.IdxNew(9) // new 5-tuple
+	for i := 0; i < 60; i++ {
+		pkts := 1000 + 500*rng.Float64()
+		nf := 100 + 300*rng.Float64()
+		f := synth(map[int]float64{features.IdxPackets: pkts, i5: nf})
+		m.Observe(f, 1000+50*pkts+2*nf)
+	}
+	pkts, nf := 1200.0, 250.0
+	f := synth(map[int]float64{features.IdxPackets: pkts, i5: nf})
+	want := 1000 + 50*pkts + 2*nf
+	got := m.Predict(f)
+	if stats.RelErr(got, want) > 0.02 {
+		t.Fatalf("prediction = %v, want %v (+/-2%%)", got, want)
+	}
+	sel := m.Selected()
+	foundPkts := false
+	for _, j := range sel {
+		if j == features.IdxPackets {
+			foundPkts = true
+		}
+	}
+	if !foundPkts {
+		t.Fatalf("selected features %v missing packets", sel)
+	}
+}
+
+func TestMLRNeverNegative(t *testing.T) {
+	m := NewMLR(20, 0.6)
+	rng := hash.NewXorShift(6)
+	for i := 0; i < 20; i++ {
+		pkts := rng.Float64() * 10
+		m.Observe(synth(map[int]float64{features.IdxPackets: pkts}), pkts*2)
+	}
+	// Extrapolate far below the observed range.
+	got := m.Predict(synth(map[int]float64{features.IdxPackets: -1e6}))
+	if got < 0 {
+		t.Fatalf("negative prediction: %v", got)
+	}
+}
+
+func TestMLRTracksRegimeChange(t *testing.T) {
+	// After the window slides past a cost-regime change, predictions
+	// must follow the new regime.
+	m := NewMLR(30, DefaultThreshold)
+	f := func(p float64) features.Vector {
+		return synth(map[int]float64{features.IdxPackets: p})
+	}
+	rng := hash.NewXorShift(7)
+	for i := 0; i < 30; i++ {
+		p := 100 + rng.Float64()*50
+		m.Observe(f(p), 10*p)
+	}
+	for i := 0; i < 30; i++ { // new regime: cost doubles
+		p := 100 + rng.Float64()*50
+		m.Observe(f(p), 20*p)
+	}
+	got := m.Predict(f(120))
+	if stats.RelErr(got, 2400) > 0.05 {
+		t.Fatalf("post-change prediction = %v, want ~2400", got)
+	}
+}
+
+func TestSLRLine(t *testing.T) {
+	s := NewSLR(50, features.IdxPackets)
+	for i := 0; i < 50; i++ {
+		p := float64(100 + i)
+		s.Observe(synth(map[int]float64{features.IdxPackets: p}), 7*p+30)
+	}
+	got := s.Predict(synth(map[int]float64{features.IdxPackets: 200}))
+	if stats.RelErr(got, 7*200+30) > 0.01 {
+		t.Fatalf("SLR prediction = %v, want %v", got, 7*200+30)
+	}
+}
+
+func TestSLRConstantFeature(t *testing.T) {
+	s := NewSLR(10, features.IdxPackets)
+	for i := 0; i < 10; i++ {
+		s.Observe(synth(map[int]float64{features.IdxPackets: 5}), 100)
+	}
+	if got := s.Predict(synth(map[int]float64{features.IdxPackets: 5})); got != 100 {
+		t.Fatalf("constant-feature SLR = %v, want 100", got)
+	}
+}
+
+func TestSLRMissesMultiFeatureCost(t *testing.T) {
+	// Costs driven by a feature SLR doesn't watch: MLR should beat SLR.
+	slr := NewSLR(DefaultHistory, features.IdxPackets)
+	mlr := NewMLR(DefaultHistory, DefaultThreshold)
+	rng := hash.NewXorShift(8)
+	iBytes := features.IdxBytes
+	var fLast features.Vector
+	var wantLast float64
+	for i := 0; i < 60; i++ {
+		pkts := 1000 + rng.Float64()*100 // nearly constant
+		bytes := 1e5 + 9e5*rng.Float64() // the real driver
+		f := synth(map[int]float64{features.IdxPackets: pkts, iBytes: bytes})
+		cost := 0.1 * bytes
+		slr.Observe(f, cost)
+		mlr.Observe(f, cost)
+		fLast, wantLast = f, cost
+	}
+	errSLR := stats.RelErr(slr.Predict(fLast), wantLast)
+	errMLR := stats.RelErr(mlr.Predict(fLast), wantLast)
+	if errMLR > errSLR {
+		t.Fatalf("MLR (%v) worse than SLR (%v) on byte-driven cost", errMLR, errSLR)
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Predict(nil); got != 0 {
+		t.Fatalf("cold EWMA = %v", got)
+	}
+	e.Observe(nil, 100)
+	e.Observe(nil, 200)
+	if got := e.Predict(nil); got != 150 {
+		t.Fatalf("EWMA = %v, want 150", got)
+	}
+}
+
+func TestEWMALagsStepChange(t *testing.T) {
+	// Structural property the thesis exploits: EWMA cannot anticipate a
+	// step it hasn't seen.
+	e := NewEWMA(DefaultEWMAAlpha)
+	for i := 0; i < 100; i++ {
+		e.Observe(nil, 100)
+	}
+	// The traffic doubles; prediction still says 100.
+	if got := e.Predict(nil); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("EWMA = %v, want 100", got)
+	}
+	e.Observe(nil, 200)
+	got := e.Predict(nil)
+	if got >= 200 || got <= 100 {
+		t.Fatalf("EWMA after one step = %v, want between 100 and 200", got)
+	}
+}
+
+func TestLastPredictor(t *testing.T) {
+	l := NewLast()
+	if l.Predict(nil) != 0 {
+		t.Fatal("cold Last != 0")
+	}
+	l.Observe(nil, 42)
+	if l.Predict(nil) != 42 {
+		t.Fatal("Last did not track")
+	}
+	l.Observe(nil, 7)
+	if l.Predict(nil) != 7 {
+		t.Fatal("Last did not update")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	cases := map[string]Predictor{
+		"mlr":  NewMLR(10, 0.6),
+		"slr":  NewSLR(10, 0),
+		"ewma": NewEWMA(0.3),
+		"last": NewLast(),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func BenchmarkMLRPredict(b *testing.B) {
+	m := NewMLR(DefaultHistory, DefaultThreshold)
+	rng := hash.NewXorShift(1)
+	for i := 0; i < DefaultHistory; i++ {
+		f := make(features.Vector, features.NumFeatures)
+		for j := range f {
+			f[j] = rng.Float64() * 1000
+		}
+		m.Observe(f, rng.Float64()*1e6)
+	}
+	f := make(features.Vector, features.NumFeatures)
+	for j := range f {
+		f[j] = rng.Float64() * 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(f)
+	}
+}

@@ -1,0 +1,322 @@
+package queries
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/hash"
+	"repro/internal/pkt"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// autofocus — high-volume traffic clusters per subnet ([55], cost: med).
+
+// DefaultAutofocusThreshold is the fraction of interval traffic a
+// cluster must carry (after subtracting reported descendants) to be
+// reported.
+const DefaultAutofocusThreshold = 0.05
+
+// Cluster is one reported traffic cluster: a destination prefix and its
+// residual volume.
+type Cluster struct {
+	Prefix uint32 // network-order prefix, host bits zero
+	Len    int    // prefix length: 32, 24, 16 or 8
+	Bytes  float64
+}
+
+// AutofocusResult is the per-interval answer: the reported clusters in
+// descending volume order.
+type AutofocusResult struct {
+	Clusters []Cluster
+	Total    float64
+}
+
+// Autofocus implements uni-dimensional autofocus over destination
+// prefixes: per-interval byte counts are aggregated at /32 and rolled up
+// to /24, /16 and /8; clusters whose residual volume (own traffic minus
+// already-reported descendants) exceeds the threshold are reported,
+// most-specific first.
+type Autofocus struct {
+	cfg       Config
+	threshold float64
+	table     map[uint32]float64 // per-/32 bytes, scaled
+}
+
+// NewAutofocus returns an autofocus query; threshold <= 0 selects
+// DefaultAutofocusThreshold.
+func NewAutofocus(cfg Config, threshold float64) *Autofocus {
+	if threshold <= 0 {
+		threshold = DefaultAutofocusThreshold
+	}
+	return &Autofocus{cfg: cfg, threshold: threshold, table: make(map[uint32]float64)}
+}
+
+// Name implements Query.
+func (q *Autofocus) Name() string { return "autofocus" }
+
+// Method implements Query.
+func (q *Autofocus) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *Autofocus) MinRate() float64 { return 0.69 }
+
+// Interval implements Query.
+func (q *Autofocus) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *Autofocus) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	var ops Ops
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		ops.Lookups++
+		if _, ok := q.table[p.DstIP]; !ok {
+			ops.Inserts++
+		}
+		q.table[p.DstIP] += float64(p.Size) * inv
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query: roll the /32 table up the prefix hierarchy
+// and report clusters whose residual volume exceeds the threshold.
+func (q *Autofocus) Flush() (Result, Ops) {
+	var total float64
+	for _, v := range q.table {
+		total += v
+	}
+	thresh := q.threshold * total
+
+	levels := []int{32, 24, 16, 8}
+	agg := make([]map[uint32]float64, len(levels))
+	agg[0] = q.table
+	for li := 1; li < len(levels); li++ {
+		agg[li] = make(map[uint32]float64)
+		mask := prefixMask(levels[li])
+		for ip, v := range agg[li-1] {
+			agg[li][ip&mask] += v
+		}
+	}
+
+	var clusters []Cluster
+	reported := make([]map[uint32]float64, len(levels)) // reported volume by prefix per level
+	ops := Ops{Flushes: int64(len(q.table))}
+	for li, plen := range levels {
+		reported[li] = make(map[uint32]float64)
+		mask := prefixMask(plen)
+		for prefix, v := range agg[li] {
+			residual := v
+			if li > 0 {
+				// Subtract descendants already reported at finer levels.
+				for lj := 0; lj < li; lj++ {
+					for rp, rv := range reported[lj] {
+						if rp&mask == prefix {
+							residual -= rv
+						}
+					}
+				}
+			}
+			ops.Sorts++
+			if residual >= thresh && thresh > 0 {
+				clusters = append(clusters, Cluster{Prefix: prefix, Len: plen, Bytes: residual})
+				reported[li][prefix] = v
+			}
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].Bytes != clusters[j].Bytes {
+			return clusters[i].Bytes > clusters[j].Bytes
+		}
+		if clusters[i].Len != clusters[j].Len {
+			return clusters[i].Len > clusters[j].Len
+		}
+		return clusters[i].Prefix < clusters[j].Prefix
+	})
+	q.table = make(map[uint32]float64)
+	return AutofocusResult{Clusters: clusters, Total: total}, ops
+}
+
+func prefixMask(plen int) uint32 {
+	if plen <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(plen))
+}
+
+// Error implements Query. The thesis measures autofocus error through
+// the delta report of [55]; lacking the original tooling we use the
+// Jaccard distance between reported cluster identity sets, which is 0
+// for identical reports and grows as sampling perturbs the clusters
+// (substitution documented in DESIGN.md).
+func (q *Autofocus) Error(got, ref Result) float64 {
+	g, r := got.(AutofocusResult), ref.(AutofocusResult)
+	type key struct {
+		p uint32
+		l int
+	}
+	set := make(map[key]bool, len(g.Clusters))
+	for _, c := range g.Clusters {
+		set[key{c.Prefix, c.Len}] = true
+	}
+	inter, union := 0, len(set)
+	for _, c := range r.Clusters {
+		k := key{c.Prefix, c.Len}
+		if set[k] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// Reset implements Query.
+func (q *Autofocus) Reset() { q.table = make(map[uint32]float64) }
+
+// ---------------------------------------------------------------------
+// super-sources — sources with the largest fan-out ([139], cost: med).
+
+// DefaultSuperSourcesTop is how many sources are reported.
+const DefaultSuperSourcesTop = 10
+
+// SuperSource is one reported source with its estimated fan-out.
+type SuperSource struct {
+	IP     uint32
+	FanOut float64
+}
+
+// SuperSourcesResult is the per-interval answer: the top sources by
+// estimated distinct-destination count, plus the full per-source
+// estimates for error evaluation.
+type SuperSourcesResult struct {
+	Top []SuperSource
+	All map[uint32]float64
+}
+
+// SuperSources estimates per-source fan-out (distinct destinations)
+// with a small direct bitmap per source, as in [139]. It prefers flow
+// sampling: fan-out scales by the inverse flow-sampling rate.
+type SuperSources struct {
+	cfg   Config
+	top   int
+	table map[uint32]*bitmap.Direct
+	// Packet-weighted mean sampling rate over the interval; the
+	// per-source distinct sets span batches with different rates, so no
+	// single batch's rate is the right corrector.
+	rateSum float64
+	pktSum  float64
+}
+
+// NewSuperSources returns a super-sources query reporting the top n
+// sources (DefaultSuperSourcesTop when n <= 0).
+func NewSuperSources(cfg Config, n int) *SuperSources {
+	if n <= 0 {
+		n = DefaultSuperSourcesTop
+	}
+	return &SuperSources{cfg: cfg, top: n, table: make(map[uint32]*bitmap.Direct)}
+}
+
+// Name implements Query.
+func (q *SuperSources) Name() string { return "super-sources" }
+
+// Method implements Query.
+func (q *SuperSources) Method() sampling.Method { return sampling.Flow }
+
+// MinRate implements Query (Table 5.2).
+func (q *SuperSources) MinRate() float64 { return 0.93 }
+
+// Interval implements Query.
+func (q *SuperSources) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *SuperSources) Process(b *pkt.Batch, rate float64) Ops {
+	if rate > 0 && rate <= 1 {
+		q.rateSum += rate * float64(len(b.Pkts))
+		q.pktSum += float64(len(b.Pkts))
+	}
+	var ops Ops
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		ops.Lookups++
+		bm, ok := q.table[p.SrcIP]
+		if !ok {
+			bm = bitmap.NewDirect(512)
+			q.table[p.SrcIP] = bm
+			ops.Inserts++
+		}
+		bm.Insert(hash.Mix64(uint64(p.DstIP)*0x9e3779b97f4a7c15 + uint64(p.DstPort)))
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query.
+func (q *SuperSources) Flush() (Result, Ops) {
+	inv := 1.0
+	if q.pktSum > 0 {
+		if r := q.rateSum / q.pktSum; r > 0 && r < 1 {
+			inv = 1 / r
+		}
+	}
+	all := make(map[uint32]float64, len(q.table))
+	srcs := make([]SuperSource, 0, len(q.table))
+	for ip, bm := range q.table {
+		f := bm.Estimate() * inv
+		all[ip] = f
+		srcs = append(srcs, SuperSource{IP: ip, FanOut: f})
+	}
+	sort.Slice(srcs, func(i, j int) bool {
+		if srcs[i].FanOut != srcs[j].FanOut {
+			return srcs[i].FanOut > srcs[j].FanOut
+		}
+		return srcs[i].IP < srcs[j].IP
+	})
+	n := len(srcs)
+	logn := 0
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	ops := Ops{Sorts: int64(n * logn), Flushes: int64(n)}
+	if n > q.top {
+		srcs = srcs[:q.top]
+	}
+	q.table = make(map[uint32]*bitmap.Direct)
+	q.rateSum, q.pktSum = 0, 0
+	return SuperSourcesResult{Top: srcs, All: all}, ops
+}
+
+// Error implements Query: the average relative error of the fan-out
+// estimates over the reference's top sources; a source the sampled run
+// never saw contributes error 1 ([139] metric, §2.2.1).
+func (q *SuperSources) Error(got, ref Result) float64 {
+	g, r := got.(SuperSourcesResult), ref.(SuperSourcesResult)
+	if len(r.Top) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Top {
+		gv, ok := g.All[s.IP]
+		if !ok {
+			sum++
+			continue
+		}
+		sum += stats.RelErr(gv, s.FanOut)
+	}
+	return stats.Clamp(sum/float64(len(r.Top)), 0, 1)
+}
+
+// Reset implements Query.
+func (q *SuperSources) Reset() {
+	q.table = make(map[uint32]*bitmap.Direct)
+	q.rateSum, q.pktSum = 0, 0
+}

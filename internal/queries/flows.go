@@ -1,0 +1,231 @@
+package queries
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// flows — per-flow classification and active flow count (Table 2.2).
+
+// FlowsResult is the per-interval answer: the sampling-corrected count
+// of active 5-tuple flows.
+type FlowsResult struct {
+	Flows float64
+}
+
+// Flows tracks active 5-tuple flows in a hash table. Its cost is driven
+// by flow arrivals (entry creation), which is exactly the structure the
+// MLR predictor must discover (Figure 3.3). It prefers flow sampling:
+// with Flowwise selection, len(table)/rate is an unbiased flow-count
+// estimate, whereas packet sampling loses short flows entirely.
+type Flows struct {
+	cfg   Config
+	table map[pkt.FlowKey]struct{}
+	est   float64 // running sampling-corrected flow count
+}
+
+// NewFlows returns a flows query.
+func NewFlows(cfg Config) *Flows {
+	return &Flows{cfg: cfg, table: make(map[pkt.FlowKey]struct{})}
+}
+
+// Name implements Query.
+func (q *Flows) Name() string { return "flows" }
+
+// Method implements Query.
+func (q *Flows) Method() sampling.Method { return sampling.Flow }
+
+// MinRate implements Query (Table 5.2).
+func (q *Flows) MinRate() float64 { return 0.05 }
+
+// Interval implements Query.
+func (q *Flows) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query. New flows are scaled by the inverse of the
+// rate in force when they were first seen: the sampling rate changes
+// from batch to batch, so scaling the final table size by any single
+// rate would bias the count.
+func (q *Flows) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	var ops Ops
+	for i := range b.Pkts {
+		k := b.Pkts[i].FlowKey()
+		ops.Lookups++
+		if _, ok := q.table[k]; !ok {
+			q.table[k] = struct{}{}
+			q.est += inv
+			ops.Inserts++
+		}
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query.
+func (q *Flows) Flush() (Result, Ops) {
+	n := len(q.table)
+	q.table = make(map[pkt.FlowKey]struct{})
+	est := q.est
+	q.est = 0
+	return FlowsResult{Flows: est}, Ops{Flushes: int64(n)}
+}
+
+// Error implements Query.
+func (q *Flows) Error(got, ref Result) float64 {
+	g, r := got.(FlowsResult), ref.(FlowsResult)
+	return stats.RelErr(g.Flows, r.Flows)
+}
+
+// Reset implements Query.
+func (q *Flows) Reset() {
+	q.table = make(map[pkt.FlowKey]struct{})
+	q.est = 0
+}
+
+// ---------------------------------------------------------------------
+// top-k — ranking of the top-k destination addresses by volume.
+
+// DefaultTopK is the ranking depth when the constructor receives 0.
+const DefaultTopK = 20
+
+// TopKEntry is one ranked destination.
+type TopKEntry struct {
+	IP    uint32
+	Bytes float64
+}
+
+// TopKResult is the per-interval answer: the reported ranking plus the
+// full per-destination table (needed by the misranked-pair metric).
+type TopKResult struct {
+	List []TopKEntry
+	All  map[uint32]float64
+}
+
+// TopK ranks destination addresses by estimated byte volume.
+type TopK struct {
+	cfg   Config
+	k     int
+	table map[uint32]float64
+}
+
+// NewTopK returns a top-k query; k <= 0 selects DefaultTopK.
+func NewTopK(cfg Config, k int) *TopK {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &TopK{cfg: cfg, k: k, table: make(map[uint32]float64)}
+}
+
+// Name implements Query.
+func (q *TopK) Name() string { return "top-k" }
+
+// Method implements Query.
+func (q *TopK) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *TopK) MinRate() float64 { return 0.57 }
+
+// Interval implements Query.
+func (q *TopK) Interval() time.Duration { return q.cfg.interval() }
+
+// K returns the ranking depth.
+func (q *TopK) K() int { return q.k }
+
+// Process implements Query.
+func (q *TopK) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	var ops Ops
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		ops.Lookups++
+		if _, ok := q.table[p.DstIP]; !ok {
+			ops.Inserts++
+		}
+		q.table[p.DstIP] += float64(p.Size) * inv
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query.
+func (q *TopK) Flush() (Result, Ops) {
+	entries := make([]TopKEntry, 0, len(q.table))
+	for ip, bytes := range q.table {
+		entries = append(entries, TopKEntry{IP: ip, Bytes: bytes})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Bytes != entries[j].Bytes {
+			return entries[i].Bytes > entries[j].Bytes
+		}
+		return entries[i].IP < entries[j].IP
+	})
+	// Charge the sort n·log n comparison steps.
+	n := len(entries)
+	logn := 0
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	ops := Ops{Sorts: int64(n * logn), Flushes: int64(n)}
+	if n > q.k {
+		entries = entries[:q.k]
+	}
+	r := TopKResult{List: entries, All: q.table}
+	q.table = make(map[uint32]float64)
+	return r, ops
+}
+
+// Error implements Query: the misranked-pair metric of [12], normalized
+// by k² so it composes with the [0,1] accuracy model of Chapter 5. A
+// pair is misranked when a destination inside the reported list carries
+// less reference traffic than one left outside it.
+func (q *TopK) Error(got, ref Result) float64 {
+	return float64(q.MisrankedPairs(got, ref)) / float64(q.k*q.k)
+}
+
+// MisrankedPairs returns the raw misranked-pair count, the form Table
+// 4.1 reports.
+func (q *TopK) MisrankedPairs(got, ref Result) int {
+	g, r := got.(TopKResult), ref.(TopKResult)
+	inList := make(map[uint32]bool, len(g.List))
+	minIn := 0.0
+	first := true
+	for _, e := range g.List {
+		inList[e.IP] = true
+		v := r.All[e.IP]
+		if first || v < minIn {
+			minIn = v
+			first = false
+		}
+	}
+	// Count outside destinations whose true volume beats an in-list
+	// destination's true volume.
+	pairs := 0
+	for ip, v := range r.All {
+		if inList[ip] {
+			continue
+		}
+		for _, e := range g.List {
+			if v > r.All[e.IP] {
+				pairs++
+			}
+		}
+	}
+	if pairs > q.k*q.k {
+		pairs = q.k * q.k
+	}
+	return pairs
+}
+
+// Reset implements Query.
+func (q *TopK) Reset() { q.table = make(map[uint32]float64) }

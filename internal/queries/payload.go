@@ -1,0 +1,208 @@
+package queries
+
+import (
+	"bytes"
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------
+// trace — full-payload packet collection (Table 2.2, cost: medium).
+
+// TraceResult is the per-interval answer: how many packets and bytes
+// were collected. No unsampled estimate exists (§2.2.1), so the values
+// are raw.
+type TraceResult struct {
+	Packets float64
+	Bytes   float64
+}
+
+// TraceQuery collects (counts, in this reproduction) every packet that
+// matches its filter, paying a per-byte copy cost like the disk-bound
+// original.
+type TraceQuery struct {
+	cfg  Config
+	pkts float64
+	byts float64
+}
+
+// NewTraceQuery returns a trace query.
+func NewTraceQuery(cfg Config) *TraceQuery { return &TraceQuery{cfg: cfg} }
+
+// Name implements Query.
+func (q *TraceQuery) Name() string { return "trace" }
+
+// Method implements Query.
+func (q *TraceQuery) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *TraceQuery) MinRate() float64 { return 0.10 }
+
+// Interval implements Query.
+func (q *TraceQuery) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *TraceQuery) Process(b *pkt.Batch, _ float64) Ops {
+	var ops Ops
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		q.pkts++
+		q.byts += float64(p.Size)
+		ops.Bytes += int64(len(p.Payload)) + 40 // payload copy plus header record
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query.
+func (q *TraceQuery) Flush() (Result, Ops) {
+	r := TraceResult{Packets: q.pkts, Bytes: q.byts}
+	q.pkts, q.byts = 0, 0
+	return r, Ops{Flushes: 1}
+}
+
+// Error implements Query: one minus the fraction of packets processed
+// relative to the lossless run (§2.2.1 — no unsampled recovery exists).
+func (q *TraceQuery) Error(got, ref Result) float64 {
+	g, r := got.(TraceResult), ref.(TraceResult)
+	if r.Packets == 0 {
+		return 0
+	}
+	frac := g.Packets / r.Packets
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - frac
+}
+
+// Reset implements Query.
+func (q *TraceQuery) Reset() { q.pkts, q.byts = 0, 0 }
+
+// ---------------------------------------------------------------------
+// pattern-search — byte-sequence identification in payloads (cost: high).
+
+// PatternResult is the per-interval answer.
+type PatternResult struct {
+	Processed float64 // packets scanned
+	Matches   float64 // packets containing the pattern
+}
+
+// PatternSearch scans every captured payload for a byte pattern with
+// the Boyer-Moore-Horspool algorithm, the [23] strategy of Table 2.2.
+// Its cost is linear in bytes processed.
+type PatternSearch struct {
+	cfg       Config
+	pattern   []byte
+	skip      [256]int
+	processed float64
+	matches   float64
+}
+
+// NewPatternSearch returns a pattern-search query; a nil pattern
+// defaults to the generator's HTTP pattern so matches actually occur.
+func NewPatternSearch(cfg Config, pattern []byte) *PatternSearch {
+	if len(pattern) == 0 {
+		pattern = trace.PatternHTTP
+	}
+	q := &PatternSearch{cfg: cfg, pattern: pattern}
+	q.buildSkip()
+	return q
+}
+
+func (q *PatternSearch) buildSkip() {
+	m := len(q.pattern)
+	for i := range q.skip {
+		q.skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		q.skip[q.pattern[i]] = m - 1 - i
+	}
+}
+
+// search reports whether the pattern occurs in text, returning the
+// number of byte positions examined (charged to the cost model: the
+// whole payload must be read from memory even when Horspool shifts).
+func (q *PatternSearch) search(text []byte) (found bool, scanned int) {
+	m := len(q.pattern)
+	n := len(text)
+	if m == 0 || n < m {
+		return false, n
+	}
+	i := 0
+	for i <= n-m {
+		j := m - 1
+		for j >= 0 && text[i+j] == q.pattern[j] {
+			j--
+		}
+		if j < 0 {
+			return true, n
+		}
+		i += q.skip[text[i+m-1]]
+	}
+	return false, n
+}
+
+// Name implements Query.
+func (q *PatternSearch) Name() string { return "pattern-search" }
+
+// Method implements Query.
+func (q *PatternSearch) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *PatternSearch) MinRate() float64 { return 0.10 }
+
+// Interval implements Query.
+func (q *PatternSearch) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *PatternSearch) Process(b *pkt.Batch, _ float64) Ops {
+	var ops Ops
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		q.processed++
+		if len(p.Payload) > 0 {
+			found, scanned := q.search(p.Payload)
+			ops.Bytes += int64(scanned)
+			if found {
+				q.matches++
+			}
+		}
+	}
+	ops.Packets = int64(len(b.Pkts))
+	return ops
+}
+
+// Flush implements Query.
+func (q *PatternSearch) Flush() (Result, Ops) {
+	r := PatternResult{Processed: q.processed, Matches: q.matches}
+	q.processed, q.matches = 0, 0
+	return r, Ops{Flushes: 1}
+}
+
+// Error implements Query: one minus the fraction of packets processed
+// (§2.2.1).
+func (q *PatternSearch) Error(got, ref Result) float64 {
+	g, r := got.(PatternResult), ref.(PatternResult)
+	if r.Processed == 0 {
+		return 0
+	}
+	frac := g.Processed / r.Processed
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - frac
+}
+
+// Reset implements Query.
+func (q *PatternSearch) Reset() { q.processed, q.matches = 0, 0 }
+
+// ContainsPattern reports whether text contains the query's pattern;
+// exported for tests.
+func (q *PatternSearch) ContainsPattern(text []byte) bool {
+	// bytes.Contains is the oracle the Horspool implementation is
+	// tested against; the query itself uses search for realistic cost.
+	return bytes.Contains(text, q.pattern)
+}

@@ -1,0 +1,263 @@
+package queries
+
+import (
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// counter — traffic load in packets and bytes (Table 2.2, cost: low).
+
+// CounterResult is the counter query's per-interval answer: estimated
+// (sampling-corrected) packet and byte totals.
+type CounterResult struct {
+	Packets float64
+	Bytes   float64
+}
+
+// Counter counts packets and bytes per measurement interval, scaling by
+// the inverse sampling rate to estimate its unsampled output.
+type Counter struct {
+	cfg  Config
+	pkts float64
+	byts float64
+}
+
+// NewCounter returns a counter query.
+func NewCounter(cfg Config) *Counter { return &Counter{cfg: cfg} }
+
+// Name implements Query.
+func (q *Counter) Name() string { return "counter" }
+
+// Method implements Query.
+func (q *Counter) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *Counter) MinRate() float64 { return 0.03 }
+
+// Interval implements Query.
+func (q *Counter) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *Counter) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	for i := range b.Pkts {
+		q.pkts += inv
+		q.byts += float64(b.Pkts[i].Size) * inv
+	}
+	return Ops{Packets: int64(len(b.Pkts)), Lookups: int64(len(b.Pkts))}
+}
+
+// Flush implements Query.
+func (q *Counter) Flush() (Result, Ops) {
+	r := CounterResult{Packets: q.pkts, Bytes: q.byts}
+	q.pkts, q.byts = 0, 0
+	return r, Ops{Flushes: 2}
+}
+
+// Error implements Query: the mean of the packet and byte relative
+// errors.
+func (q *Counter) Error(got, ref Result) float64 {
+	g, r := got.(CounterResult), ref.(CounterResult)
+	return (stats.RelErr(g.Packets, r.Packets) + stats.RelErr(g.Bytes, r.Bytes)) / 2
+}
+
+// Reset implements Query.
+func (q *Counter) Reset() { q.pkts, q.byts = 0, 0 }
+
+// ---------------------------------------------------------------------
+// application — port-based application classification (cost: low).
+
+// AppClass is a coarse application class assigned by port.
+type AppClass int
+
+// Application classes distinguished by the port map.
+const (
+	AppWeb AppClass = iota
+	AppDNS
+	AppMail
+	AppP2P
+	AppOther
+	numAppClasses
+)
+
+var appNames = [numAppClasses]string{"web", "dns", "mail", "p2p", "other"}
+
+// String returns the class name.
+func (a AppClass) String() string { return appNames[a] }
+
+// classifyPort maps a destination port to an application class.
+func classifyPort(dport uint16) AppClass {
+	switch dport {
+	case 80, 443, 8080:
+		return AppWeb
+	case 53:
+		return AppDNS
+	case 25, 110, 143:
+		return AppMail
+	case 6881, 6346, 4662, 1214:
+		return AppP2P
+	default:
+		return AppOther
+	}
+}
+
+// AppCounts holds the estimated totals for one application class.
+type AppCounts struct {
+	Packets float64
+	Bytes   float64
+}
+
+// ApplicationResult is the per-interval breakdown by application class.
+type ApplicationResult struct {
+	Apps [numAppClasses]AppCounts
+}
+
+// Application classifies packets into application classes by port and
+// accumulates scaled per-class packet and byte counts.
+type Application struct {
+	cfg  Config
+	apps [numAppClasses]AppCounts
+}
+
+// NewApplication returns an application-breakdown query.
+func NewApplication(cfg Config) *Application { return &Application{cfg: cfg} }
+
+// Name implements Query.
+func (q *Application) Name() string { return "application" }
+
+// Method implements Query.
+func (q *Application) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *Application) MinRate() float64 { return 0.03 }
+
+// Interval implements Query.
+func (q *Application) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *Application) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		a := classifyPort(p.DstPort)
+		q.apps[a].Packets += inv
+		q.apps[a].Bytes += float64(p.Size) * inv
+	}
+	n := int64(len(b.Pkts))
+	return Ops{Packets: n, Lookups: n}
+}
+
+// Flush implements Query.
+func (q *Application) Flush() (Result, Ops) {
+	r := ApplicationResult{Apps: q.apps}
+	q.apps = [numAppClasses]AppCounts{}
+	return r, Ops{Flushes: int64(numAppClasses)}
+}
+
+// Error implements Query: the average of per-class packet and byte
+// relative errors weighted by the class's share of reference packets
+// (§2.2.1).
+func (q *Application) Error(got, ref Result) float64 {
+	g, r := got.(ApplicationResult), ref.(ApplicationResult)
+	var totalRefPkts float64
+	for _, c := range r.Apps {
+		totalRefPkts += c.Packets
+	}
+	if totalRefPkts == 0 {
+		return 0
+	}
+	var err float64
+	for a := 0; a < int(numAppClasses); a++ {
+		w := r.Apps[a].Packets / totalRefPkts
+		e := (stats.RelErr(g.Apps[a].Packets, r.Apps[a].Packets) +
+			stats.RelErr(g.Apps[a].Bytes, r.Apps[a].Bytes)) / 2
+		err += w * e
+	}
+	return err
+}
+
+// Reset implements Query.
+func (q *Application) Reset() { q.apps = [numAppClasses]AppCounts{} }
+
+// ---------------------------------------------------------------------
+// high-watermark — high watermark of link utilization (cost: low).
+
+// hwmBucket is the sub-interval resolution at which utilization is
+// tracked; the watermark is the maximum bucket volume in the interval.
+const hwmBucket = 100 * time.Millisecond
+
+// HighWatermarkResult is the per-interval answer: the peak bytes seen in
+// any single bucket, sampling-corrected.
+type HighWatermarkResult struct {
+	WatermarkBytes float64
+}
+
+// HighWatermark tracks the peak short-term link utilization per
+// measurement interval.
+type HighWatermark struct {
+	cfg     Config
+	buckets map[int64]float64
+}
+
+// NewHighWatermark returns a high-watermark query.
+func NewHighWatermark(cfg Config) *HighWatermark {
+	return &HighWatermark{cfg: cfg, buckets: make(map[int64]float64)}
+}
+
+// Name implements Query.
+func (q *HighWatermark) Name() string { return "high-watermark" }
+
+// Method implements Query.
+func (q *HighWatermark) Method() sampling.Method { return sampling.Packet }
+
+// MinRate implements Query (Table 5.2).
+func (q *HighWatermark) MinRate() float64 { return 0.15 }
+
+// Interval implements Query.
+func (q *HighWatermark) Interval() time.Duration { return q.cfg.interval() }
+
+// Process implements Query.
+func (q *HighWatermark) Process(b *pkt.Batch, rate float64) Ops {
+	inv := 1.0
+	if rate > 0 && rate < 1 {
+		inv = 1 / rate
+	}
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		q.buckets[p.Ts/int64(hwmBucket)] += float64(p.Size) * inv
+	}
+	n := int64(len(b.Pkts))
+	return Ops{Packets: n, Lookups: n}
+}
+
+// Flush implements Query.
+func (q *HighWatermark) Flush() (Result, Ops) {
+	var wm float64
+	for _, v := range q.buckets {
+		if v > wm {
+			wm = v
+		}
+	}
+	n := int64(len(q.buckets))
+	q.buckets = make(map[int64]float64)
+	return HighWatermarkResult{WatermarkBytes: wm}, Ops{Flushes: n}
+}
+
+// Error implements Query.
+func (q *HighWatermark) Error(got, ref Result) float64 {
+	g, r := got.(HighWatermarkResult), ref.(HighWatermarkResult)
+	return stats.RelErr(g.WatermarkBytes, r.WatermarkBytes)
+}
+
+// Reset implements Query.
+func (q *HighWatermark) Reset() { q.buckets = make(map[int64]float64) }

@@ -1,0 +1,129 @@
+// Package sampling implements the load shedding mechanisms of thesis
+// §4.2: uniform packet sampling and hash-based flow sampling (Flowwise,
+// [43]) with a fresh H3 function drawn every measurement interval to
+// prevent bias and deliberate evasion.
+package sampling
+
+import (
+	"repro/internal/hash"
+	"repro/internal/pkt"
+)
+
+// Method identifies how excess load is shed for a query (Table 2.2).
+type Method int
+
+const (
+	// None disables shedding for the query.
+	None Method = iota
+	// Packet selects individual packets with probability equal to the
+	// sampling rate.
+	Packet
+	// Flow selects entire 5-tuple flows with probability equal to the
+	// sampling rate (Flowwise hash-based selection).
+	Flow
+	// Custom delegates shedding to the query itself (Chapter 6).
+	Custom
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Packet:
+		return "packet"
+	case Flow:
+		return "flow"
+	case Custom:
+		return "custom"
+	default:
+		return "unknown"
+	}
+}
+
+// PacketSampler selects packets independently with the requested
+// probability. The zero value is unusable; construct with
+// NewPacketSampler.
+type PacketSampler struct {
+	rng *hash.XorShift
+}
+
+// NewPacketSampler returns a sampler seeded deterministically.
+func NewPacketSampler(seed uint64) *PacketSampler {
+	return &PacketSampler{rng: hash.NewXorShift(seed)}
+}
+
+// Sample returns the packets of b selected with probability rate. A
+// rate >= 1 returns the input slice unchanged; rate <= 0 selects
+// nothing.
+func (s *PacketSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
+	if rate >= 1 {
+		return pkts
+	}
+	if rate <= 0 {
+		return nil
+	}
+	out := make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1)
+	for i := range pkts {
+		if s.rng.Float64() < rate {
+			out = append(out, pkts[i])
+		}
+	}
+	return out
+}
+
+// FlowSampler implements Flowwise sampling: a packet is selected when
+// the H3 hash of its 5-tuple, mapped to [0,1), falls below the sampling
+// rate, so whole flows are kept or dropped together without caching any
+// per-flow state. StartInterval draws a fresh hash function, as §4.2
+// prescribes, once per measurement interval.
+type FlowSampler struct {
+	seed     uint64
+	interval uint64
+	h        *hash.H3
+}
+
+// NewFlowSampler returns a flow sampler; call StartInterval before the
+// first use of each measurement interval.
+func NewFlowSampler(seed uint64) *FlowSampler {
+	fs := &FlowSampler{seed: seed}
+	fs.StartInterval()
+	return fs
+}
+
+// StartInterval re-draws the hash function for a new measurement
+// interval.
+func (s *FlowSampler) StartInterval() {
+	s.interval++
+	s.h = hash.NewH3(s.seed + s.interval*0x9e3779b97f4a7c15)
+}
+
+// Keep reports whether the flow of p is selected at the given rate.
+func (s *FlowSampler) Keep(p *pkt.Packet, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	k := p.FlowKey()
+	return s.h.Unit(k[:]) < rate
+}
+
+// Sample returns the packets of b whose flows are selected at the given
+// rate.
+func (s *FlowSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
+	if rate >= 1 {
+		return pkts
+	}
+	if rate <= 0 {
+		return nil
+	}
+	out := make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1)
+	for i := range pkts {
+		if s.Keep(&pkts[i], rate) {
+			out = append(out, pkts[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+func genPackets(n int) []pkt.Packet {
+	out := make([]pkt.Packet, n)
+	for i := range out {
+		out[i] = pkt.Packet{
+			SrcIP:   uint32(i % 97),
+			DstIP:   uint32(i % 13),
+			SrcPort: uint16(i % 31),
+			DstPort: 80,
+			Proto:   pkt.ProtoTCP,
+			Size:    100,
+		}
+	}
+	return out
+}
+
+func TestMethodStrings(t *testing.T) {
+	cases := map[Method]string{None: "none", Packet: "packet", Flow: "flow", Custom: "custom", Method(9): "unknown"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestPacketSampleRateOne(t *testing.T) {
+	s := NewPacketSampler(1)
+	in := genPackets(100)
+	out := s.Sample(in, 1)
+	if len(out) != 100 {
+		t.Fatalf("rate 1 dropped packets: %d", len(out))
+	}
+}
+
+func TestPacketSampleRateZero(t *testing.T) {
+	s := NewPacketSampler(1)
+	if out := s.Sample(genPackets(100), 0); out != nil {
+		t.Fatalf("rate 0 kept %d packets", len(out))
+	}
+}
+
+func TestPacketSampleUnbiased(t *testing.T) {
+	s := NewPacketSampler(2)
+	in := genPackets(200000)
+	out := s.Sample(in, 0.3)
+	frac := float64(len(out)) / float64(len(in))
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("sampled fraction = %v, want 0.3", frac)
+	}
+}
+
+func TestPacketSampleDeterministic(t *testing.T) {
+	a := NewPacketSampler(7)
+	b := NewPacketSampler(7)
+	in := genPackets(1000)
+	oa := a.Sample(in, 0.5)
+	ob := b.Sample(in, 0.5)
+	if len(oa) != len(ob) {
+		t.Fatal("same seed sampled differently")
+	}
+}
+
+func TestFlowSampleKeepsWholeFlows(t *testing.T) {
+	fs := NewFlowSampler(3)
+	g := trace.NewGenerator(trace.Config{Seed: 1, Duration: 2 * time.Second, PacketsPerSec: 10000})
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		kept := map[pkt.FlowKey]bool{}
+		dropped := map[pkt.FlowKey]bool{}
+		out := fs.Sample(b.Pkts, 0.5)
+		for i := range out {
+			kept[out[i].FlowKey()] = true
+		}
+		for i := range b.Pkts {
+			k := b.Pkts[i].FlowKey()
+			if !kept[k] {
+				dropped[k] = true
+			}
+		}
+		for k := range kept {
+			if dropped[k] {
+				t.Fatalf("flow %v partially sampled", k)
+			}
+		}
+	}
+}
+
+func TestFlowSampleRateProportionOfFlows(t *testing.T) {
+	fs := NewFlowSampler(5)
+	// 10000 single-packet flows.
+	in := make([]pkt.Packet, 10000)
+	for i := range in {
+		in[i] = pkt.Packet{SrcIP: uint32(i), DstIP: 1, SrcPort: uint16(i), DstPort: 80, Proto: pkt.ProtoTCP}
+	}
+	out := fs.Sample(in, 0.25)
+	frac := float64(len(out)) / float64(len(in))
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("flow-sampled fraction = %v, want 0.25", frac)
+	}
+}
+
+func TestFlowSamplerIntervalRedraw(t *testing.T) {
+	fs := NewFlowSampler(9)
+	in := genPackets(5000)
+	before := len(fs.Sample(in, 0.5))
+	fs.StartInterval()
+	after := len(fs.Sample(in, 0.5))
+	// A redrawn hash function must make different selections: identical
+	// counts for every flow set would be astronomically unlikely, but we
+	// compare membership to be explicit.
+	if before == after {
+		same := true
+		a := fs.Sample(in, 0.5)
+		fs.StartInterval()
+		b := fs.Sample(in, 0.5)
+		if len(a) != len(b) {
+			same = false
+		} else {
+			for i := range a {
+				if a[i].SrcIP != b[i].SrcIP {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("hash function not redrawn across intervals")
+		}
+	}
+}
+
+func TestFlowSampleEdgeRates(t *testing.T) {
+	fs := NewFlowSampler(11)
+	in := genPackets(50)
+	if got := fs.Sample(in, 1); len(got) != 50 {
+		t.Fatal("rate 1 must keep everything")
+	}
+	if got := fs.Sample(in, 0); got != nil {
+		t.Fatal("rate 0 must drop everything")
+	}
+	p := in[0]
+	if !fs.Keep(&p, 1) {
+		t.Fatal("Keep(rate=1) = false")
+	}
+	if fs.Keep(&p, 0) {
+		t.Fatal("Keep(rate=0) = true")
+	}
+}
+
+func BenchmarkFlowSample(b *testing.B) {
+	fs := NewFlowSampler(1)
+	in := genPackets(2500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs.Sample(in, 0.5)
+	}
+}

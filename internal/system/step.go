@@ -1,0 +1,314 @@
+package system
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/custom"
+	"repro/internal/features"
+	"repro/internal/pkt"
+	"repro/internal/sampling"
+	"repro/internal/sched"
+)
+
+// coldStartRate is the sampling rate applied before the predictor has
+// any history at all.
+const coldStartRate = 0.05
+
+// step processes one batch through the full pipeline: capture-buffer
+// admission, platform overhead, feature extraction, prediction, the
+// shedding decision, per-query sampling, query execution and controller
+// feedback (Algorithm 1).
+func (s *System) step(bin int, b *pkt.Batch) BinStats {
+	st := BinStats{
+		Start:     b.Start,
+		WirePkts:  b.Packets(),
+		WireBytes: b.Bytes(),
+		Rates:     make([]float64, len(s.qs)),
+		QueryUsed: make([]float64, len(s.qs)),
+		QueryPred: make([]float64, len(s.qs)),
+	}
+	capacity := s.gov.Capacity()
+	unlimited := math.IsInf(capacity, 1)
+
+	// 1. Capture buffer: when the system lags more than the buffer can
+	// hold, incoming packets are dropped without control before the
+	// system ever sees them ("DAG drops").
+	admitted := b.Pkts
+	bufferLoss := false
+	if !unlimited {
+		occ := s.gov.Delay() / capacity
+		st.BufferBins = occ
+		// Soft signal at 75% occupancy: the §4.1 "predefined value"
+		// that resets rtthresh before any packet is lost.
+		if occ > 0.75*s.cfg.BufferBins {
+			bufferLoss = true
+		}
+		if excess := occ - s.cfg.BufferBins; excess > 0 {
+			dropFrac := math.Min(1, excess)
+			nDrop := int(dropFrac * float64(len(admitted)))
+			st.DropPkts = nDrop
+			admitted = admitted[nDrop:]
+		}
+	}
+	st.AdmitPkts = len(admitted)
+	ab := pkt.Batch{Start: b.Start, Bin: b.Bin, Pkts: admitted}
+
+	// 2. Platform overhead (como_cycles): capture, filtering, memory
+	// and storage management, with rare spikes for disk interference.
+	overhead := comoPerBin + comoPerPkt*float64(len(admitted))
+	if s.noise.Float64() < diskSpikeProb {
+		overhead += comoPerBin * diskSpikeFactor
+	}
+
+	// 3+4. Feature extraction and prediction (predictive scheme only).
+	var fv features.Vector
+	var predSum float64
+	predictive := s.cfg.Scheme == Predictive && !unlimited
+	if s.cfg.Scheme == Predictive {
+		opsBefore := s.globalExt.Ops
+		fv = s.globalExt.Extract(&ab)
+		overhead += feCostPerOp * float64(s.globalExt.Ops-opsBefore)
+		for i, rq := range s.qs {
+			var fit, fcbf int64
+			if rq.mlr != nil {
+				fcbf, fit = rq.mlr.FCBFOps, rq.mlr.FitOps
+			}
+			p := rq.pred.Predict(fv)
+			if rq.mlr != nil {
+				overhead += fcbfCostPerOp*float64(rq.mlr.FCBFOps-fcbf) + mlrCostPerOp*float64(rq.mlr.FitOps-fit)
+			}
+			st.QueryPred[i] = p
+			predSum += p
+		}
+	}
+	st.Predicted = predSum
+
+	// 5. Decide per-query rates.
+	avail := s.gov.Avail(overhead)
+	st.Avail = avail
+	rates := make([]float64, len(s.qs))
+	for i := range rates {
+		rates[i] = 1
+	}
+	switch s.cfg.Scheme {
+	case Predictive:
+		if predictive {
+			s.decidePredictive(avail, st.QueryPred, rates)
+		}
+	case Reactive:
+		if !unlimited {
+			// Eq. 4.1: srate_t = min(1, max(α, srate_{t-1} ·
+			// (avail_t − delay)/consumed_{t-1})), where avail is just
+			// capacity minus overhead and delay is only the previous
+			// bin's overshoot — the reactive baseline has no notion of
+			// accumulated backlog, which is exactly why it overruns its
+			// buffers under sustained overload (Fig. 4.2c).
+			rAvail := capacity - overhead - s.reactiveDelay
+			r := 1.0
+			if s.lastConsumed > 0 {
+				r = s.reactiveRate * rAvail / s.lastConsumed
+			}
+			r = math.Min(1, math.Max(s.cfg.ReactiveMinRate, r))
+			s.reactiveRate = r
+			for i := range rates {
+				rates[i] = r
+			}
+		}
+	case Original, NoShed:
+		// No sampling: the buffer is the only defence.
+	}
+
+	// 6. Re-extract features of the shed stream once, shared across
+	// queries (§5.5.4: "the traffic features could be recomputed just
+	// once"). The shared vector approximates every sampled query's
+	// stream; per-query interval state is maintained by merging the
+	// shared batch bitmaps, which costs no re-hashing.
+	var usedSum, shedCycles, allocSum float64
+	if s.cfg.Scheme == Predictive {
+		repRate, nSampled := 0.0, 0
+		for i, r := range rates {
+			if r < 1 && !(s.qs[i].shed != nil && s.qs[i].shed.Mode() == custom.ModeCustom) {
+				repRate += r
+				nSampled++
+			}
+		}
+		if nSampled > 0 {
+			repRate /= float64(nSampled)
+			sampled := s.shedSamp.Sample(ab.Pkts, repRate)
+			sb := pkt.Batch{Start: ab.Start, Bin: ab.Bin, Pkts: sampled}
+			opsBefore := s.shedExt.Ops
+			s.shedExt.Extract(&sb)
+			shedCycles += feCostPerOp * float64(s.shedExt.Ops-opsBefore)
+			shedCycles += sampleCostPerPkt * float64(len(ab.Pkts))
+		}
+	}
+
+	// 7. Shed and run each query.
+	minRate := 1.0
+	for i, rq := range s.qs {
+		rate := rates[i]
+		qb := ab
+		effRate := rate // the rate the query is told was applied
+
+		if rq.shed != nil && s.cfg.Scheme == Predictive {
+			switch rq.shed.Mode() {
+			case custom.ModeCustom:
+				// Custom shedding: the query sheds internally; the
+				// batch is delivered whole and the query assumes no
+				// packet loss. A zero allocation withholds the batch
+				// entirely (the query is disabled for this bin).
+				s.manager.Apply(rq.shed, rate)
+				effRate = 1
+				if rate <= 0 {
+					qb.Pkts = nil
+				}
+			case custom.ModePoliced:
+				// The system took shedding away: enforced packet
+				// sampling (§6.1.1).
+				s.manager.Apply(rq.shed, rate)
+				if rate < 1 {
+					qb.Pkts = rq.psamp.Sample(ab.Pkts, rate)
+				}
+			case custom.ModeDisabled:
+				s.manager.Apply(rq.shed, 0)
+				rate = 0
+				qb.Pkts = nil
+				effRate = 1
+			}
+		} else if rate < 1 {
+			switch rq.q.Method() {
+			case sampling.Flow:
+				qb.Pkts = rq.fsamp.Sample(ab.Pkts, rate)
+			default:
+				qb.Pkts = rq.psamp.Sample(ab.Pkts, rate)
+			}
+		}
+		rq.rate = rate
+		st.Rates[i] = rate
+		if rate < minRate {
+			minRate = rate
+		}
+
+		// Run the query.
+		ops := rq.q.Process(&qb, effRate)
+		base := s.cfg.Cost.Cycles(ops)
+		measured, spiked := s.measure(base)
+		st.QueryUsed[i] = measured
+		usedSum += measured
+		allocSum += st.QueryPred[i] * rate
+
+		// 8. Update the query's prediction history with the features of
+		// its (possibly shed) stream (Algorithm 1 lines 12, 16). The
+		// distinct counts come from the shared extractors; the scalar
+		// packet/byte features are the query's own. A custom-shedding
+		// query whose batch was withheld (rate 0) processed nothing and
+		// contributes no observation — pairing full-batch features with
+		// its residual cost would poison the model.
+		if s.cfg.Scheme == Predictive {
+			customMode := rq.shed != nil && rq.shed.Mode() == custom.ModeCustom
+			if !(customMode && rate <= 0) {
+				var qf features.Vector
+				if rate >= 1 || customMode {
+					// Stream identical to the full batch: merge, don't rescan.
+					qf = rq.ext.ExtractFromBatchOf(s.globalExt, fv[features.IdxPackets], fv[features.IdxBytes])
+				} else {
+					nb := pkt.Batch{Pkts: qb.Pkts}
+					qf = rq.ext.ExtractFromBatchOf(s.shedExt, float64(len(qb.Pkts)), float64(nb.Bytes()))
+				}
+				if spiked {
+					// §3.2.4: measurements corrupted by context switches
+					// are replaced with the prediction in the MLR history.
+					rq.pred.Observe(qf, st.QueryPred[i]*rate)
+				} else {
+					rq.pred.Observe(qf, measured)
+				}
+			}
+			if rq.shed != nil {
+				s.manager.Audit(rq.shed, measured, st.QueryPred[i])
+			}
+		}
+	}
+	st.Used = usedSum
+	st.Shed = shedCycles
+	st.Overhead = overhead
+	st.Alloc = allocSum
+	st.GlobalRate = minRate
+
+	// 9. Controller feedback.
+	if !unlimited {
+		s.reactiveDelay = math.Max(0, usedSum+overhead+shedCycles-capacity)
+		s.gov.Observe(core.Feedback{
+			Predicted:   predSum,
+			AllocCycles: allocSum,
+			UsedCycles:  usedSum,
+			ShedCycles:  shedCycles,
+			Overhead:    overhead,
+			QueryAvail:  avail,
+			BufferLoss:  bufferLoss,
+		})
+		s.lastConsumed = usedSum
+	}
+	return st
+}
+
+// decidePredictive fills rates according to the configured strategy (or
+// the Chapter 4 single global rate when no strategy is set).
+func (s *System) decidePredictive(avail float64, preds []float64, rates []float64) {
+	var predSum float64
+	for _, p := range preds {
+		predSum += p
+	}
+	if predSum <= 0 {
+		// Cold start: no model yet (first batch ever). Processing blind
+		// at full rate can cost many times the bin budget before the
+		// first observation lands; admit a conservative trickle instead
+		// so the first history points are cheap and informative.
+		for i := range rates {
+			rates[i] = coldStartRate
+		}
+		return
+	}
+	if s.cfg.Strategy == nil {
+		rate := 1.0
+		if s.gov.NeedShed(avail, predSum) {
+			rate = s.gov.Rate(avail, predSum)
+		}
+		for i := range rates {
+			rates[i] = rate
+		}
+		return
+	}
+	budget := s.gov.QueryBudget(avail)
+	demands := make([]sched.Demand, len(s.qs))
+	for i, rq := range s.qs {
+		demand := preds[i]
+		if rq.shed != nil {
+			// The custom manager's correction factor converts the
+			// (shed-regime) prediction into a demand estimate.
+			demand = s.manager.Demand(rq.shed, preds[i])
+		}
+		demands[i] = sched.Demand{
+			Name:    rq.q.Name(),
+			Cycles:  demand,
+			MinRate: rq.q.MinRate(),
+		}
+	}
+	for i, a := range s.cfg.Strategy.Allocate(demands, budget) {
+		rates[i] = a.Rate
+	}
+}
+
+// measure converts true cycles into a measured value, adding the noise
+// and occasional spikes of TSC-based measurement (§3.2.4).
+func (s *System) measure(base float64) (measured float64, spiked bool) {
+	m := base
+	if s.cfg.NoiseSigma > 0 {
+		m *= math.Exp(s.cfg.NoiseSigma*s.noise.NormFloat64() - s.cfg.NoiseSigma*s.cfg.NoiseSigma/2)
+	}
+	if s.cfg.SpikeProb > 0 && s.noise.Float64() < s.cfg.SpikeProb {
+		m *= s.cfg.SpikeFactor
+		return m, true
+	}
+	return m, false
+}

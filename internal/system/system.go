@@ -1,0 +1,377 @@
+// Package system is the monitoring system harness: the CoMo-like batch
+// loop that captures traffic, extracts features, predicts per-query
+// cost, decides and applies load shedding, runs the queries, and feeds
+// measurements back into the controller.
+//
+// It implements the four schemes the thesis evaluates against each
+// other (§4.5.1, §5.5.3):
+//
+//   - Predictive: Chapter 4's Algorithm 1, optionally with a Chapter 5
+//     per-query strategy (mmfs_cpu / mmfs_pkt / eq_srates) and Chapter
+//     6 custom shedding.
+//   - Reactive: sampling driven by the previous batch's cost (Eq. 4.1,
+//     SEDA-style).
+//   - Original: unmodified CoMo — no sampling, packets drop when the
+//     capture buffer fills.
+//   - NoShed: process everything; with infinite capacity this produces
+//     the reference (ground-truth) run.
+//
+// The paper measures cycles with the TSC; here query cost comes from
+// the instrumented cost model (see queries.CostModel and DESIGN.md),
+// with optional multiplicative measurement noise and rare spikes that
+// stand in for cache misses and context switches (§3.2.4).
+package system
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/custom"
+	"repro/internal/features"
+	"repro/internal/hash"
+	"repro/internal/predict"
+	"repro/internal/queries"
+	"repro/internal/sampling"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Scheme selects the load shedding behaviour of a run.
+type Scheme int
+
+// The four schemes of the evaluation.
+const (
+	Predictive Scheme = iota
+	Reactive
+	Original
+	NoShed
+)
+
+// String returns the scheme name used in figures.
+func (s Scheme) String() string {
+	switch s {
+	case Predictive:
+		return "predictive"
+	case Reactive:
+		return "reactive"
+	case Original:
+		return "original"
+	case NoShed:
+		return "no_lshed"
+	default:
+		return "unknown"
+	}
+}
+
+// Cost coefficients of the platform itself (the "como_cycles" and
+// prediction-subsystem costs of Algorithm 1). Values are cycles.
+const (
+	comoPerBin       = 1e5   // fixed platform work per batch
+	comoPerPkt       = 40    // capture/filter cost per admitted packet
+	feCostPerOp      = 25    // feature extraction, per hash+insert op
+	fcbfCostPerOp    = 4     // FCBF, per correlation multiply-accumulate
+	mlrCostPerOp     = 6     // OLS solve, per scalar multiply
+	sampleCostPerPkt = 10    // sampling decision per packet
+	diskSpikeProb    = 0.004 // rare platform spikes (disk, kernel)
+	diskSpikeFactor  = 20.0  // spike size, × comoPerBin
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Scheme   Scheme
+	Capacity float64        // cycles per time bin; <= 0 or +Inf means unlimited
+	Strategy sched.Strategy // per-query strategy; nil = single global rate (Ch. 4)
+	Cost     queries.CostModel
+	Seed     uint64
+
+	HistoryLen    int     // MLR history length; predict.DefaultHistory if 0
+	FCBFThreshold float64 // predict.DefaultThreshold if 0
+	PredictorKind string  // "mlr" (default), "slr", "ewma"
+
+	NoiseSigma  float64 // lognormal sigma of cost measurement noise (default 0.01)
+	SpikeProb   float64 // probability of a cost spike per query-bin (default 0)
+	SpikeFactor float64 // spike multiplier (default 2.5)
+
+	BufferBins      float64 // capture buffer size in bins of traffic (default 50 ≈ 5 s, a 256 MB DAG buffer at evaluation rates; Ch. 5's no-shedding emulation sets 2 ≈ 200 ms)
+	ReactiveMinRate float64 // α of Eq. 4.1 (default 0.01)
+
+	CustomShedding bool           // enable the Chapter 6 custom-shedding protocol
+	CustomPolicy   *custom.Policy // enforcement tunables; defaults if nil
+
+	// Arrivals registers queries that join the system mid-run (§6.3.3):
+	// each Make is invoked when the run reaches AtBin. Early interval
+	// results of late queries are nil.
+	Arrivals []Arrival
+
+	// Probe, when set, is invoked after every processed bin; experiment
+	// harnesses use it to sample internal state (e.g. the custom
+	// shedding audit pairs of Figure 6.3).
+	Probe func(bin int)
+}
+
+// Arrival schedules a query to join a running system.
+type Arrival struct {
+	AtBin int
+	Make  func() queries.Query
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (queries.CostModel{}) {
+		c.Cost = queries.DefaultCostModel()
+	}
+	if c.HistoryLen == 0 {
+		c.HistoryLen = predict.DefaultHistory
+	}
+	if c.FCBFThreshold == 0 {
+		c.FCBFThreshold = predict.DefaultThreshold
+	}
+	if c.PredictorKind == "" {
+		c.PredictorKind = "mlr"
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.01
+	}
+	if c.SpikeFactor == 0 {
+		c.SpikeFactor = 2.5
+	}
+	if c.BufferBins == 0 {
+		c.BufferBins = 50
+	}
+	if c.ReactiveMinRate == 0 {
+		c.ReactiveMinRate = 0.01
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = math.Inf(1)
+	}
+	return c
+}
+
+// BinStats records one time bin of a run — the raw material of the
+// Chapter 4 and 6 time-series figures.
+type BinStats struct {
+	Start time.Duration
+
+	WirePkts  int // packets on the wire this bin
+	DropPkts  int // uncontrolled capture-buffer ("DAG") drops
+	AdmitPkts int // packets entering the system
+	WireBytes int
+
+	Predicted float64 // Σ per-query predicted cycles at full rate
+	Alloc     float64 // Σ per-query predicted cycles at applied rates
+	Used      float64 // Σ per-query measured cycles
+	Overhead  float64 // platform + prediction subsystem cycles
+	Shed      float64 // sampling + re-extraction cycles
+	Avail     float64 // the availability used for the decision
+
+	GlobalRate float64   // min across queries (1 when not shedding)
+	Rates      []float64 // per-query applied rates
+	QueryUsed  []float64 // per-query measured cycles
+	QueryPred  []float64 // per-query predictions at full rate
+
+	BufferBins float64 // buffer occupancy, in bins of delay
+}
+
+// IntervalResults records every query's flushed result for one
+// measurement interval.
+type IntervalResults struct {
+	Index   int
+	Results []queries.Result // index-aligned with RunResult.Queries
+	// ExportCycles is the cost of flushing interval state to the export
+	// process. CoMo handles it outside the capture loop (§2.1.2), so it
+	// is reported but not charged against the real-time bin budget.
+	ExportCycles float64
+}
+
+// RunResult is everything a run produced.
+type RunResult struct {
+	Scheme    Scheme
+	Queries   []string
+	Bins      []BinStats
+	Intervals []IntervalResults
+}
+
+// runQuery is the per-query runtime state.
+type runQuery struct {
+	q     queries.Query
+	pred  predict.Predictor
+	mlr   *predict.MLR // non-nil when PredictorKind == "mlr"
+	ext   *features.Extractor
+	fsamp *sampling.FlowSampler
+	psamp *sampling.PacketSampler
+	rate  float64
+	shed  *custom.State // non-nil when the query supports custom shedding
+}
+
+// System runs monitoring experiments. Construct with New, call Run.
+type System struct {
+	cfg Config
+	qs  []*runQuery
+	gov *core.Governor
+
+	globalExt *features.Extractor
+	shedExt   *features.Extractor // shared re-extraction of the sampled stream (§5.5.4)
+	shedSamp  *sampling.PacketSampler
+	noise     *hash.XorShift
+	manager   *custom.Manager
+
+	interval      time.Duration
+	reactiveRate  float64
+	reactiveDelay float64 // previous bin's overshoot (Eq. 4.1's delay)
+	lastConsumed  float64
+}
+
+// New builds a system around the given fresh query instances. All
+// queries must share the same measurement interval.
+func New(cfg Config, qs []queries.Query) *System {
+	cfg = cfg.withDefaults()
+	if len(qs) == 0 {
+		panic("system: no queries")
+	}
+	interval := qs[0].Interval()
+	for _, q := range qs {
+		if q.Interval() != interval {
+			panic(fmt.Sprintf("system: query %s interval %v differs from %v", q.Name(), q.Interval(), interval))
+		}
+	}
+	s := &System{
+		cfg:          cfg,
+		gov:          newGovernor(cfg),
+		globalExt:    features.NewExtractor(cfg.Seed + 0xfea7),
+		shedExt:      features.NewExtractor(cfg.Seed + 0xfea7),
+		shedSamp:     sampling.NewPacketSampler(cfg.Seed + 0x5a3d),
+		noise:        hash.NewXorShift(cfg.Seed + 0x4015e),
+		interval:     interval,
+		reactiveRate: 1,
+	}
+	if cfg.CustomShedding {
+		s.manager = custom.NewManager(cfg.CustomPolicy)
+	}
+	for _, q := range qs {
+		s.addQuery(q)
+	}
+	return s
+}
+
+// addQuery wires a query into the running system (used at construction
+// and by mid-run arrivals).
+func (s *System) addQuery(q queries.Query) {
+	i := len(s.qs)
+	rq := &runQuery{
+		q:     q,
+		ext:   features.NewExtractor(s.cfg.Seed + uint64(i)*0x10001 + 0x9fe),
+		fsamp: sampling.NewFlowSampler(s.cfg.Seed + uint64(i)*31 + 7),
+		psamp: sampling.NewPacketSampler(s.cfg.Seed + uint64(i)*17 + 3),
+		rate:  1,
+	}
+	switch s.cfg.PredictorKind {
+	case "slr":
+		rq.pred = predict.NewSLR(s.cfg.HistoryLen, features.IdxPackets)
+	case "ewma":
+		rq.pred = predict.NewEWMA(predict.DefaultEWMAAlpha)
+	default:
+		m := predict.NewMLR(s.cfg.HistoryLen, s.cfg.FCBFThreshold)
+		rq.pred = m
+		rq.mlr = m
+	}
+	if s.manager != nil {
+		if sh, ok := q.(custom.Shedder); ok && q.Method() == sampling.Custom {
+			rq.shed = s.manager.Register(q.Name(), sh, q.MinRate())
+		}
+	}
+	s.qs = append(s.qs, rq)
+}
+
+func newGovernor(cfg Config) *core.Governor {
+	g := core.NewGovernor(cfg.Capacity)
+	if !math.IsInf(cfg.Capacity, 1) {
+		// Bound the discovered delay allowance by a fraction of the
+		// capture buffer: §4.1 resets rtthresh when buffer occupancy
+		// exceeds a predefined value, well before packets drop.
+		cap := math.Min(2*cfg.Capacity, 0.4*cfg.BufferBins*cfg.Capacity)
+		g.SetRTTCap(cap)
+	}
+	return g
+}
+
+// Governor exposes the controller, mainly for tests and experiments.
+func (s *System) Governor() *core.Governor { return s.gov }
+
+// Run replays src through the system and returns the full record.
+func (s *System) Run(src trace.Source) *RunResult {
+	src.Reset()
+	res := &RunResult{Scheme: s.cfg.Scheme}
+	for _, rq := range s.qs {
+		rq.q.Reset()
+		res.Queries = append(res.Queries, rq.q.Name())
+	}
+	binDur := src.TimeBin()
+	binsPerInterval := int(s.interval / binDur)
+	if binsPerInterval < 1 {
+		binsPerInterval = 1
+	}
+
+	curInterval := 0
+	s.startInterval()
+
+	bin := 0
+	for {
+		b, ok := src.NextBatch()
+		if !ok {
+			break
+		}
+		for _, a := range s.cfg.Arrivals {
+			if a.AtBin == bin {
+				s.addQuery(a.Make())
+				res.Queries = append(res.Queries, s.qs[len(s.qs)-1].q.Name())
+			}
+		}
+		// Measurement interval boundary: flush results, rotate hashes.
+		if iv := bin / binsPerInterval; iv != curInterval {
+			res.Intervals = append(res.Intervals, s.flush(curInterval))
+			curInterval = iv
+			s.startInterval()
+		}
+		res.Bins = append(res.Bins, s.step(bin, &b))
+		if s.cfg.Probe != nil {
+			s.cfg.Probe(bin)
+		}
+		bin++
+	}
+	res.Intervals = append(res.Intervals, s.flush(curInterval))
+	return res
+}
+
+// CustomStates exposes the custom-shedding audit state (nil when custom
+// shedding is disabled).
+func (s *System) CustomStates() []*custom.State {
+	if s.manager == nil {
+		return nil
+	}
+	return s.manager.States()
+}
+
+func (s *System) startInterval() {
+	s.globalExt.StartInterval()
+	for _, rq := range s.qs {
+		rq.ext.StartInterval()
+		rq.fsamp.StartInterval()
+	}
+	if s.manager != nil {
+		s.manager.StartInterval()
+	}
+}
+
+// flush ends a measurement interval: every query reports. Flush work
+// happens in CoMo's export process, outside the capture loop's budget,
+// so its cost is recorded for reporting but not charged to a bin.
+func (s *System) flush(idx int) IntervalResults {
+	out := IntervalResults{Index: idx, Results: make([]queries.Result, len(s.qs))}
+	for i, rq := range s.qs {
+		r, ops := rq.q.Flush()
+		out.Results[i] = r
+		out.ExportCycles += s.cfg.Cost.Cycles(ops)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/pkt"
+)
+
+// Anomaly injects synthetic attack traffic on top of the base stream.
+// Implementations must be stateless with respect to bins: the generator
+// hands them a bin-specific deterministic RNG, so replaying a trace
+// reproduces the exact same attack packets regardless of call order.
+type Anomaly interface {
+	// Inject appends the anomaly's packets for the bin [t0, t1) to out
+	// and returns the extended slice.
+	Inject(t0, t1 time.Duration, rng *hash.XorShift, out []pkt.Packet) []pkt.Packet
+}
+
+// DDoS is a packet flood against a single target. With OnOff > 0 the
+// attack alternates OnOff on, OnOff off ("goes idle every other second",
+// §3.4.3), producing the highly variable workload used to stress the
+// predictors. Spoofed floods randomize source addresses and ports per
+// packet, which is what blows up flow-state queries.
+type DDoS struct {
+	Start      time.Duration
+	Duration   time.Duration
+	PPS        float64       // packet rate while "on"
+	Target     uint32        // destination address
+	TargetPort uint16        // destination port
+	OnOff      time.Duration // half-period of the on/off square wave; 0 = always on
+	Spoofed    bool          // randomize src IP/port per packet
+	SrcIP      uint32        // fixed source when not spoofed
+	Proto      uint8         // defaults to TCP
+	TCPFlags   uint8         // e.g. pkt.FlagSYN for SYN floods
+	Size       int           // packet size; defaults to 40
+}
+
+// NewSYNFlood returns a spoofed TCP SYN flood against target:port, the
+// attack of §4.5.5.
+func NewSYNFlood(start, dur time.Duration, pps float64, target uint32, port uint16) *DDoS {
+	return &DDoS{
+		Start: start, Duration: dur, PPS: pps,
+		Target: target, TargetPort: port,
+		Spoofed: true, TCPFlags: pkt.FlagSYN,
+	}
+}
+
+// NewOnOffDDoS returns the spoofed on/off DDoS of §3.4.3 (1 s on, 1 s
+// off) that targets the monitoring system's predictors.
+func NewOnOffDDoS(start, dur time.Duration, pps float64, target uint32) *DDoS {
+	return &DDoS{
+		Start: start, Duration: dur, PPS: pps,
+		Target: target, TargetPort: 80,
+		OnOff: time.Second, Spoofed: true, TCPFlags: pkt.FlagSYN,
+	}
+}
+
+// Inject implements Anomaly.
+func (d *DDoS) Inject(t0, t1 time.Duration, rng *hash.XorShift, out []pkt.Packet) []pkt.Packet {
+	proto := d.Proto
+	if proto == 0 {
+		proto = pkt.ProtoTCP
+	}
+	size := d.Size
+	if size == 0 {
+		size = 40
+	}
+	end := d.Start + d.Duration
+	step := time.Duration(float64(time.Second) / d.PPS)
+	if step <= 0 {
+		step = time.Nanosecond
+	}
+	for t := t0; t < t1; t += step {
+		if t < d.Start || t >= end {
+			continue
+		}
+		if d.OnOff > 0 {
+			phase := (t - d.Start) / d.OnOff
+			if phase%2 == 1 {
+				continue // off half-period
+			}
+		}
+		p := pkt.Packet{
+			Ts:       int64(t) + int64(rng.Intn(int(step)+1)),
+			DstIP:    d.Target,
+			DstPort:  d.TargetPort,
+			Proto:    proto,
+			TCPFlags: d.TCPFlags,
+			Size:     size,
+		}
+		if d.Spoofed {
+			p.SrcIP = uint32(rng.Uint64())
+			p.SrcPort = uint16(1024 + rng.Intn(64000))
+		} else {
+			p.SrcIP = d.SrcIP
+			p.SrcPort = uint16(1024 + rng.Intn(64000))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Worm emulates an outbreak: a growing pool of infected hosts probing
+// random destinations on a fixed port with a signature payload (§3.4.3:
+// "a large number of packets from many different source and destinations
+// while keeping the destination port number fixed").
+type Worm struct {
+	Start    time.Duration
+	Duration time.Duration
+	PPS      float64 // probe rate at full outbreak
+	DstPort  uint16
+	Payload  []byte // signature carried by every probe; PatternWorm if nil
+	Infected int    // infected pool size at full outbreak (default 500)
+}
+
+// Inject implements Anomaly.
+func (w *Worm) Inject(t0, t1 time.Duration, rng *hash.XorShift, out []pkt.Packet) []pkt.Packet {
+	payload := w.Payload
+	if payload == nil {
+		payload = PatternWorm
+	}
+	pool := w.Infected
+	if pool == 0 {
+		pool = 500
+	}
+	end := w.Start + w.Duration
+	for t := t0; t < t1; {
+		if t < w.Start || t >= end {
+			break
+		}
+		// Outbreak growth: rate and pool ramp with elapsed fraction.
+		frac := float64(t-w.Start) / float64(w.Duration)
+		rate := w.PPS * (0.1 + 0.9*frac)
+		step := time.Duration(float64(time.Second) / rate)
+		if step <= 0 {
+			step = time.Nanosecond
+		}
+		infected := 1 + int(frac*float64(pool))
+		src := pkt.IPv4(172, 16, byte(rng.Intn(infected)>>8), byte(rng.Intn(infected)))
+		body := make([]byte, len(payload))
+		copy(body, payload)
+		out = append(out, pkt.Packet{
+			Ts:       int64(t),
+			SrcIP:    src,
+			DstIP:    uint32(rng.Uint64()),
+			SrcPort:  uint16(1024 + rng.Intn(64000)),
+			DstPort:  w.DstPort,
+			Proto:    pkt.ProtoTCP,
+			TCPFlags: pkt.FlagSYN | pkt.FlagPSH,
+			Size:     40 + len(payload),
+			Payload:  body,
+		})
+		t += step
+	}
+	return out
+}
+
+// ByteBurst sends bursts of maximum-size packets between two fixed
+// hosts, the attack aimed at byte-driven queries such as trace and
+// pattern-search (§3.4.3).
+type ByteBurst struct {
+	Start    time.Duration
+	Duration time.Duration
+	PPS      float64
+	Payload  bool // attach SnapLen payload bytes
+}
+
+// Inject implements Anomaly.
+func (bb *ByteBurst) Inject(t0, t1 time.Duration, rng *hash.XorShift, out []pkt.Packet) []pkt.Packet {
+	end := bb.Start + bb.Duration
+	step := time.Duration(float64(time.Second) / bb.PPS)
+	if step <= 0 {
+		step = time.Nanosecond
+	}
+	for t := t0; t < t1; t += step {
+		if t < bb.Start || t >= end {
+			continue
+		}
+		p := pkt.Packet{
+			Ts:       int64(t),
+			SrcIP:    pkt.IPv4(198, 51, 100, 1),
+			DstIP:    pkt.IPv4(198, 51, 100, 2),
+			SrcPort:  40000,
+			DstPort:  9,
+			Proto:    pkt.ProtoTCP,
+			TCPFlags: pkt.FlagACK | pkt.FlagPSH,
+			Size:     1500,
+		}
+		if bb.Payload {
+			body := make([]byte, pkt.SnapLen)
+			for i := 0; i < len(body); i += 8 {
+				v := rng.Uint64()
+				for j := 0; j < 8 && i+j < len(body); j++ {
+					body[i+j] = byte(v>>(8*uint(j))) & 0x7f
+				}
+			}
+			p.Payload = body
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// Binary trace file format (little endian):
+//
+//	magic   [8]byte  "LSTRACE1"
+//	binNs   int64    batch duration in nanoseconds
+//	batches:
+//	  startNs int64
+//	  npkts   uint32
+//	  packets: ts int64, srcIP u32, dstIP u32, srcPort u16, dstPort u16,
+//	           proto u8, flags u8, size u32, payloadLen u16, payload
+//
+// The format exists so generated workloads can be stored once and
+// replayed byte-identically across schemes and machines, mirroring the
+// thesis' use of packet traces "for the sake of reproducibility" (§2.3.2).
+
+var fileMagic = [8]byte{'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// ErrBadMagic is returned when reading a file that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// WriteAll drains src and writes every batch to w, then resets src.
+func WriteAll(w io.Writer, src Source) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(src.TimeBin())); err != nil {
+		return err
+	}
+	src.Reset()
+	defer src.Reset()
+	for {
+		b, ok := src.NextBatch()
+		if !ok {
+			break
+		}
+		if err := writeBatch(bw, &b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeBatch(w io.Writer, b *pkt.Batch) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(b.Start)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(b.Pkts))); err != nil {
+		return err
+	}
+	var hdr [26]byte
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(p.Ts))
+		binary.LittleEndian.PutUint32(hdr[8:12], p.SrcIP)
+		binary.LittleEndian.PutUint32(hdr[12:16], p.DstIP)
+		binary.LittleEndian.PutUint16(hdr[16:18], p.SrcPort)
+		binary.LittleEndian.PutUint16(hdr[18:20], p.DstPort)
+		hdr[20] = p.Proto
+		hdr[21] = p.TCPFlags
+		binary.LittleEndian.PutUint32(hdr[22:26], uint32(p.Size))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if len(p.Payload) > 0xffff {
+			return fmt.Errorf("trace: payload too large (%d bytes)", len(p.Payload))
+		}
+		var plen [2]byte
+		binary.LittleEndian.PutUint16(plen[:], uint16(len(p.Payload)))
+		if _, err := w.Write(plen[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll parses a trace file into a replayable MemorySource.
+func ReadAll(r io.Reader) (*MemorySource, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	var binNs int64
+	if err := binary.Read(br, binary.LittleEndian, &binNs); err != nil {
+		return nil, err
+	}
+	var batches []pkt.Batch
+	for {
+		b, err := readBatch(br, time.Duration(binNs))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, b)
+	}
+	return NewMemorySource(batches, time.Duration(binNs)), nil
+}
+
+func readBatch(r io.Reader, bin time.Duration) (pkt.Batch, error) {
+	var startNs int64
+	if err := binary.Read(r, binary.LittleEndian, &startNs); err != nil {
+		return pkt.Batch{}, err // io.EOF here is the clean end of trace
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return pkt.Batch{}, unexpected(err)
+	}
+	b := pkt.Batch{Start: time.Duration(startNs), Bin: bin, Pkts: make([]pkt.Packet, n)}
+	var hdr [26]byte
+	for i := range b.Pkts {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return pkt.Batch{}, unexpected(err)
+		}
+		p := &b.Pkts[i]
+		p.Ts = int64(binary.LittleEndian.Uint64(hdr[0:8]))
+		p.SrcIP = binary.LittleEndian.Uint32(hdr[8:12])
+		p.DstIP = binary.LittleEndian.Uint32(hdr[12:16])
+		p.SrcPort = binary.LittleEndian.Uint16(hdr[16:18])
+		p.DstPort = binary.LittleEndian.Uint16(hdr[18:20])
+		p.Proto = hdr[20]
+		p.TCPFlags = hdr[21]
+		p.Size = int(binary.LittleEndian.Uint32(hdr[22:26]))
+		var plen [2]byte
+		if _, err := io.ReadFull(r, plen[:]); err != nil {
+			return pkt.Batch{}, unexpected(err)
+		}
+		if l := binary.LittleEndian.Uint16(plen[:]); l > 0 {
+			p.Payload = make([]byte, l)
+			if _, err := io.ReadFull(r, p.Payload); err != nil {
+				return pkt.Batch{}, unexpected(err)
+			}
+		}
+	}
+	return b, nil
+}
+
+// unexpected upgrades a mid-record EOF to ErrUnexpectedEOF so truncated
+// files are distinguishable from clean ends.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

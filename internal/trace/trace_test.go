@@ -1,0 +1,426 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+func shortCfg(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		Duration:      3 * time.Second,
+		PacketsPerSec: 5000,
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(shortCfg(1))
+	b := NewGenerator(shortCfg(1))
+	for {
+		ba, oka := a.NextBatch()
+		bb, okb := b.NextBatch()
+		if oka != okb {
+			t.Fatal("generators disagree on trace length")
+		}
+		if !oka {
+			break
+		}
+		if len(ba.Pkts) != len(bb.Pkts) {
+			t.Fatalf("batch sizes differ: %d vs %d", len(ba.Pkts), len(bb.Pkts))
+		}
+		for i := range ba.Pkts {
+			pa, pb := ba.Pkts[i], bb.Pkts[i]
+			if pa.Ts != pb.Ts || pa.SrcIP != pb.SrcIP || pa.DstIP != pb.DstIP ||
+				pa.SrcPort != pb.SrcPort || pa.Size != pb.Size {
+				t.Fatalf("packet %d differs", i)
+			}
+		}
+	}
+}
+
+func TestGeneratorResetReproduces(t *testing.T) {
+	g := NewGenerator(shortCfg(2))
+	first, _ := g.NextBatch()
+	for {
+		if _, ok := g.NextBatch(); !ok {
+			break
+		}
+	}
+	g.Reset()
+	again, ok := g.NextBatch()
+	if !ok {
+		t.Fatal("no batch after Reset")
+	}
+	if len(first.Pkts) != len(again.Pkts) {
+		t.Fatalf("first batch differs after Reset: %d vs %d packets", len(first.Pkts), len(again.Pkts))
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a, _ := NewGenerator(shortCfg(1)).NextBatch()
+	b, _ := NewGenerator(shortCfg(99)).NextBatch()
+	if len(a.Pkts) == len(b.Pkts) {
+		same := true
+		for i := range a.Pkts {
+			if a.Pkts[i].SrcIP != b.Pkts[i].SrcIP {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traffic")
+		}
+	}
+}
+
+func TestGeneratorBatchCount(t *testing.T) {
+	g := NewGenerator(shortCfg(3))
+	n := 0
+	for {
+		if _, ok := g.NextBatch(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 30 { // 3 s / 100 ms
+		t.Fatalf("got %d batches, want 30", n)
+	}
+}
+
+func TestGeneratorRateNearTarget(t *testing.T) {
+	cfg := Config{Seed: 4, Duration: 10 * time.Second, PacketsPerSec: 8000}
+	st := Measure(NewGenerator(cfg))
+	if math.Abs(st.AvgPPS-8000)/8000 > 0.25 {
+		t.Fatalf("avg pps = %.0f, want 8000 +/- 25%%", st.AvgPPS)
+	}
+	if st.AvgMbps < 10 {
+		t.Fatalf("avg load %.1f Mbps implausibly low", st.AvgMbps)
+	}
+}
+
+func TestGeneratorPacketsOrdered(t *testing.T) {
+	g := NewGenerator(shortCfg(5))
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for i := 1; i < len(b.Pkts); i++ {
+			if b.Pkts[i].Ts < b.Pkts[i-1].Ts {
+				t.Fatal("packets out of time order")
+			}
+		}
+		lo, hi := int64(b.Start), int64(b.Start+b.Bin)
+		for _, p := range b.Pkts {
+			if p.Ts < lo || p.Ts >= hi {
+				t.Fatalf("packet ts %d outside bin [%d, %d)", p.Ts, lo, hi)
+			}
+		}
+	}
+}
+
+func TestGeneratorPayloadOnlyWhenEnabled(t *testing.T) {
+	g := NewGenerator(Config{Seed: 6, Duration: time.Second, PacketsPerSec: 5000})
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.Payload != nil {
+				t.Fatal("payload generated with Payload=false")
+			}
+		}
+	}
+	g = NewGenerator(Config{Seed: 6, Duration: time.Second, PacketsPerSec: 5000, Payload: true})
+	seen := false
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if len(p.Payload) > 0 {
+				seen = true
+				if len(p.Payload) > pkt.SnapLen {
+					t.Fatalf("payload exceeds snaplen: %d", len(p.Payload))
+				}
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no payloads generated with Payload=true")
+	}
+}
+
+func TestGeneratorEmbedsSignatures(t *testing.T) {
+	g := NewGenerator(Config{
+		Seed: 7, Duration: 5 * time.Second, PacketsPerSec: 8000,
+		Payload: true, P2PFrac: 0.2,
+	})
+	found := 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if bytes.HasPrefix(p.Payload, SigBitTorrent) ||
+				bytes.HasPrefix(p.Payload, SigGnutella) ||
+				bytes.HasPrefix(p.Payload, SigED2K) {
+				found++
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("found only %d signature packets, want >= 10", found)
+	}
+}
+
+func TestGeneratorTCPFirstPacketIsSYN(t *testing.T) {
+	g := NewGenerator(shortCfg(8))
+	syns := 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.Proto == pkt.ProtoTCP && p.TCPFlags&pkt.FlagSYN != 0 {
+				syns++
+				if p.Size != 40 {
+					t.Fatalf("SYN packet size = %d, want 40", p.Size)
+				}
+			}
+		}
+	}
+	if syns == 0 {
+		t.Fatal("no SYN packets seen")
+	}
+}
+
+func TestDDoSInjection(t *testing.T) {
+	target := pkt.IPv4(147, 83, 1, 1)
+	cfg := shortCfg(9)
+	cfg.Anomalies = []Anomaly{NewSYNFlood(time.Second, time.Second, 20000, target, 80)}
+	g := NewGenerator(cfg)
+	inWindow, outWindow := 0, 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.DstIP == target && p.TCPFlags&pkt.FlagSYN != 0 && p.DstPort == 80 {
+				ts := time.Duration(p.Ts)
+				if ts >= time.Second && ts < 2*time.Second {
+					inWindow++
+				} else {
+					outWindow++
+				}
+			}
+		}
+	}
+	if inWindow < 15000 {
+		t.Fatalf("flood packets in window = %d, want ~20000", inWindow)
+	}
+	if outWindow > 100 {
+		t.Fatalf("flood packets outside window = %d", outWindow)
+	}
+}
+
+func TestOnOffDDoSIdlesEveryOtherSecond(t *testing.T) {
+	target := pkt.IPv4(147, 83, 1, 1)
+	cfg := Config{Seed: 10, Duration: 4 * time.Second, PacketsPerSec: 1000}
+	cfg.Anomalies = []Anomaly{NewOnOffDDoS(0, 4*time.Second, 10000, target)}
+	g := NewGenerator(cfg)
+	perSecond := make([]int, 4)
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.DstIP == target && p.TCPFlags&pkt.FlagSYN != 0 {
+				perSecond[time.Duration(p.Ts)/time.Second]++
+			}
+		}
+	}
+	if perSecond[0] < 5000 || perSecond[2] < 5000 {
+		t.Fatalf("on seconds too quiet: %v", perSecond)
+	}
+	if perSecond[1] > 100 || perSecond[3] > 100 {
+		t.Fatalf("off seconds not idle: %v", perSecond)
+	}
+}
+
+func TestWormInjection(t *testing.T) {
+	cfg := shortCfg(11)
+	cfg.Payload = true
+	cfg.Anomalies = []Anomaly{&Worm{Start: 0, Duration: 3 * time.Second, PPS: 5000, DstPort: 80}}
+	g := NewGenerator(cfg)
+	probes := 0
+	srcs := map[uint32]bool{}
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if bytes.Contains(p.Payload, PatternWorm) {
+				probes++
+				srcs[p.SrcIP] = true
+			}
+		}
+	}
+	if probes < 1000 {
+		t.Fatalf("worm probes = %d, want >= 1000", probes)
+	}
+	if len(srcs) < 20 {
+		t.Fatalf("worm sources = %d, want many", len(srcs))
+	}
+}
+
+func TestByteBurstInjection(t *testing.T) {
+	cfg := shortCfg(12)
+	cfg.Anomalies = []Anomaly{&ByteBurst{Start: time.Second, Duration: time.Second, PPS: 5000}}
+	g := NewGenerator(cfg)
+	big := 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.Size == 1500 && p.DstPort == 9 {
+				big++
+			}
+		}
+	}
+	if big < 4000 {
+		t.Fatalf("burst packets = %d, want ~5000", big)
+	}
+}
+
+func TestMemorySourceRoundTrip(t *testing.T) {
+	batches := Record(NewGenerator(shortCfg(13)))
+	src := NewMemorySource(batches, DefaultTimeBin)
+	n := 0
+	for {
+		if _, ok := src.NextBatch(); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(batches) {
+		t.Fatalf("replayed %d batches, stored %d", n, len(batches))
+	}
+	src.Reset()
+	if _, ok := src.NextBatch(); !ok {
+		t.Fatal("MemorySource did not reset")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	cfg := shortCfg(14)
+	cfg.Payload = true
+	g := NewGenerator(cfg)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record(g)
+	got := rd.Batches
+	if len(got) != len(want) {
+		t.Fatalf("batch count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Start != want[i].Start || len(got[i].Pkts) != len(want[i].Pkts) {
+			t.Fatalf("batch %d header mismatch", i)
+		}
+		for j := range want[i].Pkts {
+			a, b := got[i].Pkts[j], want[i].Pkts[j]
+			if a.Ts != b.Ts || a.SrcIP != b.SrcIP || a.Size != b.Size || !bytes.Equal(a.Payload, b.Payload) {
+				t.Fatalf("batch %d packet %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a trace file at all"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadAllTruncated(t *testing.T) {
+	g := NewGenerator(shortCfg(15))
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-7]
+	if _, err := ReadAll(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file read without error")
+	}
+}
+
+func TestPresetsProduceTraffic(t *testing.T) {
+	presets := map[string]Config{
+		"cesca1":  CESCA1(1, time.Second, 0.1),
+		"cesca2":  CESCA2(1, time.Second, 0.1),
+		"abilene": Abilene(1, time.Second, 0.1),
+		"cenic":   CENIC(1, time.Second, 0.1),
+		"upc1":    UPC1(1, time.Second, 0.1),
+		"upc2":    UPC2(1, time.Second, 0.1),
+	}
+	for name, cfg := range presets {
+		st := Measure(NewGenerator(cfg))
+		if st.Packets == 0 {
+			t.Errorf("%s: produced no packets", name)
+		}
+		if name == "cesca2" || name == "upc1" || name == "upc2" {
+			if !cfg.Payload {
+				t.Errorf("%s should carry payloads", name)
+			}
+		}
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	st := Measure(NewGenerator(shortCfg(16)))
+	if st.Batches != 30 {
+		t.Errorf("batches = %d", st.Batches)
+	}
+	if st.MinMbps > st.AvgMbps || st.AvgMbps > st.MaxMbps {
+		t.Errorf("mbps ordering violated: min=%v avg=%v max=%v", st.MinMbps, st.AvgMbps, st.MaxMbps)
+	}
+	if st.Duration != 3*time.Second {
+		t.Errorf("duration = %v", st.Duration)
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	g := NewGenerator(Config{Seed: 1, Duration: time.Hour, PacketsPerSec: 25000})
+	b.ReportAllocs()
+	pkts := 0
+	for i := 0; i < b.N; i++ {
+		batch, ok := g.NextBatch()
+		if !ok {
+			g.Reset()
+			continue
+		}
+		pkts += len(batch.Pkts)
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(pkts)/float64(b.N), "pkts/batch")
+	}
+}

@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API the README advertises:
+// generate traffic, size a budget, run the monitor, compare against a
+// reference.
+func TestFacadeEndToEnd(t *testing.T) {
+	mkSrc := func() TraceSource {
+		return NewGenerator(CESCA2(1, 5*time.Second, 0.05))
+	}
+	mkQs := func() []Query { return StandardQueries(QueryConfig{Seed: 1}) }
+
+	capacity := CapacityForOverload(mkSrc(), mkQs(), 2, 2)
+	if capacity <= 0 {
+		t.Fatalf("capacity = %v", capacity)
+	}
+	mon := NewMonitor(MonitorConfig{
+		Scheme:   Predictive,
+		Capacity: capacity,
+		Strategy: MMFSPkt(),
+		Seed:     2,
+	}, mkQs())
+	res := mon.Run(mkSrc())
+	if len(res.Bins) != 50 {
+		t.Fatalf("bins = %d, want 50", len(res.Bins))
+	}
+	ref := Reference(mkSrc(), mkQs(), 2)
+	errs := MeanErrors(mkQs(), res, ref)
+	if len(errs) != 7 {
+		t.Fatalf("errors for %d queries, want 7", len(errs))
+	}
+	if errs["counter"] > 0.25 {
+		t.Errorf("counter error %v implausibly high for 2x overload", errs["counter"])
+	}
+	if res.TotalDrops() > res.TotalWirePkts()/100 {
+		t.Errorf("facade run dropped %d packets", res.TotalDrops())
+	}
+}
+
+func TestFacadeStrategiesAndQueries(t *testing.T) {
+	for _, s := range []Strategy{EqualRates(false), EqualRates(true), MMFSCPU(), MMFSPkt()} {
+		if s.Name() == "" {
+			t.Error("strategy with empty name")
+		}
+	}
+	if len(AllQueries(QueryConfig{})) != 10 {
+		t.Error("AllQueries should return ten queries")
+	}
+	if NewSelfishP2P(QueryConfig{}).Name() != "p2p-detector-selfish" {
+		t.Error("selfish wrapper name wrong")
+	}
+	if NewBuggyP2P(QueryConfig{}).Name() != "p2p-detector-buggy" {
+		t.Error("buggy wrapper name wrong")
+	}
+}
+
+func TestFacadeMeasureHelpers(t *testing.T) {
+	src := NewGenerator(TraceConfig{Seed: 3, Duration: 2 * time.Second, PacketsPerSec: 3000})
+	qs := StandardQueries(QueryConfig{Seed: 3})
+	d := MeasureDemand(src, qs, 4)
+	c := MeasureCapacity(src, qs, 4)
+	if !(c > d && d > 0) {
+		t.Fatalf("capacity %v should exceed demand %v > 0", c, d)
+	}
+}
