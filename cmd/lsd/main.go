@@ -11,13 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
-	"repro/internal/queries"
-	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/system"
-	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 func main() {
@@ -32,62 +30,44 @@ func main() {
 		strategy  = flag.String("strategy", "mmfs_pkt", "equal | eq_srates | mmfs_cpu | mmfs_pkt (predictive only)")
 		full      = flag.Bool("full", false, "run all ten queries instead of the standard seven")
 		customOn  = flag.Bool("custom", true, "enable custom load shedding (Chapter 6)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "query execution worker pool size")
 	)
 	flag.Parse()
 
 	src, err := openSource(*traceFile, *preset, *seed, *dur, *scale)
 	die(err)
 
-	mkQs := func() []queries.Query {
+	mkQs := func() []loadshed.Query {
 		if *full {
-			return queries.FullSet(queries.Config{Seed: *seed})
+			return loadshed.AllQueries(loadshed.QueryConfig{Seed: *seed})
 		}
-		return queries.StandardSet(queries.Config{Seed: *seed})
+		return loadshed.StandardQueries(loadshed.QueryConfig{Seed: *seed})
 	}
 
 	fmt.Println("measuring full-rate demand ...")
-	ovh, demand := system.MeasureLoad(src, mkQs(), *seed+1)
+	ovh, demand := loadshed.MeasureLoad(src, mkQs(), *seed+1)
 	capacity := ovh + demand / *overload
 	fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), capacity %.3g (overload %.2fx)\n",
 		demand, ovh, capacity, *overload)
 
-	cfg := system.Config{
+	cfg := loadshed.Config{
 		Capacity:       capacity,
 		Seed:           *seed + 2,
 		CustomShedding: *customOn,
+		Workers:        *workers,
 	}
-	switch *scheme {
-	case "predictive":
-		cfg.Scheme = system.Predictive
-	case "reactive":
-		cfg.Scheme = system.Reactive
-	case "original":
-		cfg.Scheme = system.Original
-	case "none":
-		cfg.Scheme = system.NoShed
-	default:
-		die(fmt.Errorf("unknown scheme %q", *scheme))
-	}
-	if cfg.Scheme == system.Predictive {
-		switch *strategy {
-		case "equal":
-			cfg.Strategy = sched.EqualRates{}
-		case "eq_srates":
-			cfg.Strategy = sched.EqualRates{RespectMinRates: true}
-		case "mmfs_cpu":
-			cfg.Strategy = sched.MMFSCPU{}
-		case "mmfs_pkt":
-			cfg.Strategy = sched.MMFSPkt{}
-		default:
-			die(fmt.Errorf("unknown strategy %q", *strategy))
-		}
+	cfg.Scheme, err = loadshed.ParseScheme(*scheme)
+	die(err)
+	if cfg.Scheme == loadshed.Predictive {
+		cfg.Strategy, err = loadshed.StrategyByName(*strategy)
+		die(err)
 	}
 
 	fmt.Println("running reference (lossless) ...")
-	ref := system.Reference(src, mkQs(), *seed+1)
+	ref := loadshed.Reference(src, mkQs(), *seed+1)
 
 	fmt.Printf("running %s ...\n", *scheme)
-	res := system.New(cfg, mkQs()).Run(src)
+	res := loadshed.New(cfg, mkQs()).Run(src)
 
 	fmt.Printf("\n%-6s %-9s %-9s %-8s %-6s %-6s\n", "sec", "pkts/s", "drops/s", "rate", "occ", "cpu%")
 	for i := 0; i < len(res.Bins); i += 10 {
@@ -106,7 +86,7 @@ func main() {
 			i/10, pkts, drops, rate/float64(n), occ/float64(n), 100*cpu/float64(n))
 	}
 
-	errs := system.MeanErrors(mkQs(), res, ref)
+	errs := loadshed.MeanErrors(mkQs(), res, ref)
 	fmt.Printf("\nper-query mean accuracy error vs lossless reference:\n")
 	for _, q := range mkQs() {
 		fmt.Printf("  %-16s %6.2f%%\n", q.Name(), errs[q.Name()]*100)
@@ -116,33 +96,20 @@ func main() {
 		100*float64(res.TotalDrops())/float64(res.TotalWirePkts()))
 }
 
-func openSource(traceFile, preset string, seed uint64, dur time.Duration, scale float64) (trace.Source, error) {
+func openSource(traceFile, preset string, seed uint64, dur time.Duration, scale float64) (loadshed.Source, error) {
 	if traceFile != "" {
 		f, err := os.Open(traceFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return trace.ReadAll(f)
+		return loadshed.ReadTrace(f)
 	}
-	var cfg trace.Config
-	switch preset {
-	case "cesca1":
-		cfg = trace.CESCA1(seed, dur, scale)
-	case "cesca2":
-		cfg = trace.CESCA2(seed, dur, scale)
-	case "abilene":
-		cfg = trace.Abilene(seed, dur, scale)
-	case "cenic":
-		cfg = trace.CENIC(seed, dur, scale)
-	case "upc1":
-		cfg = trace.UPC1(seed, dur, scale)
-	case "upc2":
-		cfg = trace.UPC2(seed, dur, scale)
-	default:
-		return nil, fmt.Errorf("unknown preset %q", preset)
+	cfg, err := loadshed.PresetConfig(preset, seed, dur, scale)
+	if err != nil {
+		return nil, err
 	}
-	return trace.NewGenerator(cfg), nil
+	return loadshed.NewGenerator(cfg), nil
 }
 
 func die(err error) {

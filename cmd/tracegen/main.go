@@ -12,14 +12,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 func main() {
 	var (
-		preset = flag.String("preset", "cesca2", "dataset preset: cesca1, cesca2, abilene, cenic, upc1, upc2")
+		preset = flag.String("preset", "cesca2", "dataset preset: "+strings.Join(loadshed.PresetNames(), ", "))
 		dur    = flag.Duration("dur", 30*time.Second, "trace duration")
 		scale  = flag.Float64("scale", 0.1, "rate scale vs the paper's capture")
 		seed   = flag.Uint64("seed", 1, "generator seed")
@@ -32,42 +33,27 @@ func main() {
 		f, err := os.Open(*info)
 		die(err)
 		defer f.Close()
-		src, err := trace.ReadAll(f)
+		src, err := loadshed.ReadTrace(f)
 		die(err)
-		printStats(*info, trace.Measure(src))
+		printStats(*info, loadshed.MeasureTrace(src))
 		return
 	}
 
-	var cfg trace.Config
-	switch *preset {
-	case "cesca1":
-		cfg = trace.CESCA1(*seed, *dur, *scale)
-	case "cesca2":
-		cfg = trace.CESCA2(*seed, *dur, *scale)
-	case "abilene":
-		cfg = trace.Abilene(*seed, *dur, *scale)
-	case "cenic":
-		cfg = trace.CENIC(*seed, *dur, *scale)
-	case "upc1":
-		cfg = trace.UPC1(*seed, *dur, *scale)
-	case "upc2":
-		cfg = trace.UPC2(*seed, *dur, *scale)
-	default:
-		die(fmt.Errorf("unknown preset %q", *preset))
-	}
-	gen := trace.NewGenerator(cfg)
+	cfg, err := loadshed.PresetConfig(*preset, *seed, *dur, *scale)
+	die(err)
+	gen := loadshed.NewGenerator(cfg)
 	if *out == "" {
-		printStats(*preset+" (not written; use -o)", trace.Measure(gen))
+		printStats(*preset+" (not written; use -o)", loadshed.MeasureTrace(gen))
 		return
 	}
 	f, err := os.Create(*out)
 	die(err)
 	defer f.Close()
-	die(trace.WriteAll(f, gen))
-	printStats(*out, trace.Measure(gen))
+	die(loadshed.WriteTrace(f, gen))
+	printStats(*out, loadshed.MeasureTrace(gen))
 }
 
-func printStats(name string, st trace.Stats) {
+func printStats(name string, st loadshed.TraceStats) {
 	fmt.Printf("%s:\n", name)
 	fmt.Printf("  duration  %v (%d batches)\n", st.Duration, st.Batches)
 	fmt.Printf("  packets   %d (%.1f kpps)\n", st.Packets, st.AvgPPS/1000)

@@ -8,44 +8,43 @@ import (
 	"fmt"
 	"time"
 
-	"repro"
-	"repro/internal/queries"
+	"repro/pkg/loadshed"
 )
 
 func main() {
 	const dur = 20 * time.Second
-	mkSrc := func() repro.TraceSource {
-		cfg := repro.UPC2(13, dur, 0.1)
+	mkSrc := func() loadshed.Source {
+		cfg := loadshed.UPC2(13, dur, 0.1)
 		cfg.P2PFrac = 0.15
-		return repro.NewGenerator(cfg)
+		return loadshed.NewGenerator(cfg)
 	}
-	mkQs := func(selfish bool) func() []repro.Query {
-		return func() []repro.Query {
-			first := repro.Query(queries.NewP2PDetector(queries.Config{Seed: 13}))
+	mkQs := func(selfish bool) func() []loadshed.Query {
+		return func() []loadshed.Query {
+			first := loadshed.Query(loadshed.NewP2PDetector(loadshed.QueryConfig{Seed: 13}))
 			if selfish {
-				first = repro.NewSelfishP2P(repro.QueryConfig{Seed: 13})
+				first = loadshed.NewSelfishP2P(loadshed.QueryConfig{Seed: 13})
 			}
-			return []repro.Query{
+			return []loadshed.Query{
 				first,
-				queries.NewCounter(queries.Config{Seed: 13}),
-				queries.NewFlows(queries.Config{Seed: 13}),
+				loadshed.NewCounter(loadshed.QueryConfig{Seed: 13}),
+				loadshed.NewFlows(loadshed.QueryConfig{Seed: 13}),
 			}
 		}
 	}
 
-	capacity := repro.CapacityForOverload(mkSrc(), mkQs(false)(), 17, 2)
-	ref := repro.Reference(mkSrc(), mkQs(false)(), 17)
+	capacity := loadshed.CapacityForOverload(mkSrc(), mkQs(false)(), 17, 2)
+	ref := loadshed.Reference(mkSrc(), mkQs(false)(), 17)
 
-	run := func(label string, selfish bool, mk func() []repro.Query) {
-		mon := repro.NewMonitor(repro.MonitorConfig{
-			Scheme:         repro.Predictive,
+	run := func(label string, selfish bool, mk func() []loadshed.Query) {
+		mon := loadshed.New(loadshed.Config{
+			Scheme:         loadshed.Predictive,
 			Capacity:       capacity,
-			Strategy:       repro.MMFSPkt(),
+			Strategy:       loadshed.MMFSPkt(),
 			Seed:           17,
 			CustomShedding: true,
 		}, mk())
 		res := mon.Run(mkSrc())
-		errs := repro.MeanErrors(mkQs(false)(), res, ref)
+		errs := loadshed.MeanErrors(mkQs(false)(), res, ref)
 		fmt.Printf("%s:\n", label)
 		if selfish {
 			// The clone's answers are not comparable (different query);

@@ -7,27 +7,24 @@ import (
 	"fmt"
 	"time"
 
-	"repro"
-	"repro/internal/pkt"
-	"repro/internal/queries"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 )
 
 func main() {
 	const dur = 30 * time.Second
-	target := pkt.IPv4(147, 83, 1, 1)
+	target := loadshed.IPv4(147, 83, 1, 1)
 
-	mkSrc := func() repro.TraceSource {
-		cfg := repro.CESCA1(3, dur, 0.1)
-		cfg.Anomalies = []repro.Anomaly{
+	mkSrc := func() loadshed.Source {
+		cfg := loadshed.CESCA1(3, dur, 0.1)
+		cfg.Anomalies = []loadshed.Anomaly{
 			// Flood for the middle third of the run at 3x the base rate.
-			repro.NewSYNFlood(dur/3, dur/3, 3*cfg.PacketsPerSec, target, 80),
+			loadshed.NewSYNFlood(dur/3, dur/3, 3*cfg.PacketsPerSec, target, 80),
 		}
-		return repro.NewGenerator(cfg)
+		return loadshed.NewGenerator(cfg)
 	}
-	mkQs := func() []repro.Query {
-		return []repro.Query{queries.NewFlows(queries.Config{})}
+	mkQs := func() []loadshed.Query {
+		return []loadshed.Query{loadshed.NewFlows(loadshed.QueryConfig{})}
 	}
 
 	// Capacity fits normal traffic with 30% headroom; the flood exceeds
@@ -35,20 +32,20 @@ func main() {
 	// the packet rate and cannot be shed, so the budget reserves room
 	// for it at flood rates — the thesis experiment (§4.5.5) likewise
 	// set the availability threshold well above the platform floor.
-	normalSrc := repro.NewGenerator(repro.CESCA1(3, dur, 0.1))
-	ovh, demand := system.MeasureLoad(normalSrc, mkQs(), 9)
+	normalSrc := loadshed.NewGenerator(loadshed.CESCA1(3, dur, 0.1))
+	ovh, demand := loadshed.MeasureLoad(normalSrc, mkQs(), 9)
 	capacity := 4*ovh + 1.3*demand
-	ref := repro.Reference(mkSrc(), mkQs(), 9)
+	ref := loadshed.Reference(mkSrc(), mkQs(), 9)
 
-	for _, scheme := range []repro.Scheme{repro.Predictive, repro.Original} {
-		mon := repro.NewMonitor(repro.MonitorConfig{
+	for _, scheme := range []loadshed.Scheme{loadshed.Predictive, loadshed.Original} {
+		mon := loadshed.New(loadshed.Config{
 			Scheme:     scheme,
 			Capacity:   capacity,
 			Seed:       9,
 			BufferBins: 2, // a 200 ms capture buffer, like the paper's emulation
 		}, mkQs())
 		res := mon.Run(mkSrc())
-		errs := repro.Errors(mkQs(), res, ref)["flows"]
+		errs := loadshed.Errors(mkQs(), res, ref)["flows"]
 		fmt.Printf("%-11s flow-count error mean %5.2f%% max %5.2f%%, drops %d\n",
 			scheme, 100*stats.Mean(errs), 100*stats.Max(errs), res.TotalDrops())
 	}

@@ -7,27 +7,26 @@ import (
 	"fmt"
 	"time"
 
-	"repro"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 )
 
 func main() {
 	const dur = 20 * time.Second
-	mkSrc := func() repro.TraceSource {
-		return repro.NewGenerator(repro.CESCA2(5, dur, 0.1))
+	mkSrc := func() loadshed.Source {
+		return loadshed.NewGenerator(loadshed.CESCA2(5, dur, 0.1))
 	}
-	mkQs := func() []repro.Query { return repro.AllQueries(repro.QueryConfig{Seed: 5}) }
+	mkQs := func() []loadshed.Query { return loadshed.AllQueries(loadshed.QueryConfig{Seed: 5}) }
 
-	capacity := repro.CapacityForOverload(mkSrc(), mkQs(), 11, 2)
-	ref := repro.Reference(mkSrc(), mkQs(), 11)
+	capacity := loadshed.CapacityForOverload(mkSrc(), mkQs(), 11, 2)
+	ref := loadshed.Reference(mkSrc(), mkQs(), 11)
 
 	strategies := []struct {
 		name  string
-		strat repro.Strategy
+		strat loadshed.Strategy
 	}{
-		{"eq_srates", repro.EqualRates(true)},
-		{"mmfs_cpu", repro.MMFSCPU()},
-		{"mmfs_pkt", repro.MMFSPkt()},
+		{"eq_srates", loadshed.EqualRates(true)},
+		{"mmfs_cpu", loadshed.MMFSCPU()},
+		{"mmfs_pkt", loadshed.MMFSPkt()},
 	}
 
 	fmt.Printf("%-12s", "query")
@@ -38,15 +37,15 @@ func main() {
 
 	acc := map[string]map[string]float64{}
 	for _, s := range strategies {
-		mon := repro.NewMonitor(repro.MonitorConfig{
-			Scheme:         repro.Predictive,
+		mon := loadshed.New(loadshed.Config{
+			Scheme:         loadshed.Predictive,
 			Capacity:       capacity,
 			Strategy:       s.strat,
 			Seed:           11,
 			CustomShedding: true,
 		}, mkQs())
 		res := mon.Run(mkSrc())
-		accs := system.Accuracies(mkQs(), res, ref, 10)
+		accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 		acc[s.name] = map[string]float64{}
 		for q, as := range accs {
 			var sum float64

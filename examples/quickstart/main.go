@@ -6,40 +6,39 @@ import (
 	"fmt"
 	"time"
 
-	"repro"
-	"repro/internal/queries"
+	"repro/pkg/loadshed"
 )
 
 func main() {
 	// A deterministic 20 s synthetic trace shaped like the paper's
 	// CESCA-II capture at a tenth of its rate.
-	mkSrc := func() repro.TraceSource {
-		return repro.NewGenerator(repro.CESCA2(1, 20*time.Second, 0.1))
+	mkSrc := func() loadshed.Source {
+		return loadshed.NewGenerator(loadshed.CESCA2(1, 20*time.Second, 0.1))
 	}
-	mkQs := func() []repro.Query {
-		return []repro.Query{
-			queries.NewCounter(queries.Config{}),
-			queries.NewFlows(queries.Config{}),
-			queries.NewTopK(queries.Config{}, 10),
+	mkQs := func() []loadshed.Query {
+		return []loadshed.Query{
+			loadshed.NewCounter(loadshed.QueryConfig{}),
+			loadshed.NewFlows(loadshed.QueryConfig{}),
+			loadshed.NewTopK(loadshed.QueryConfig{}, 10),
 		}
 	}
 
 	// Size the CPU budget so the queries need twice the cycles left
 	// after the platform pays for itself: a sustained 2x overload.
-	capacity := repro.CapacityForOverload(mkSrc(), mkQs(), 7, 2)
+	capacity := loadshed.CapacityForOverload(mkSrc(), mkQs(), 7, 2)
 	fmt.Printf("capacity: %.3g cycles per 100ms bin (queries need 2x the remainder)\n", capacity)
 
-	mon := repro.NewMonitor(repro.MonitorConfig{
-		Scheme:   repro.Predictive,
+	mon := loadshed.New(loadshed.Config{
+		Scheme:   loadshed.Predictive,
 		Capacity: capacity,
-		Strategy: repro.MMFSPkt(),
+		Strategy: loadshed.MMFSPkt(),
 		Seed:     7,
 	}, mkQs())
 	res := mon.Run(mkSrc())
 
 	// Accuracy against a lossless reference run.
-	ref := repro.Reference(mkSrc(), mkQs(), 7)
-	errs := repro.MeanErrors(mkQs(), res, ref)
+	ref := loadshed.Reference(mkSrc(), mkQs(), 7)
+	errs := loadshed.MeanErrors(mkQs(), res, ref)
 
 	fmt.Printf("uncontrolled drops: %d of %d packets\n", res.TotalDrops(), res.TotalWirePkts())
 	fmt.Println("mean accuracy error under 2x overload:")

@@ -7,7 +7,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 	"repro/internal/trace"
 )
 
@@ -42,14 +42,14 @@ func init() {
 }
 
 // ablationPredictor swaps the cost predictor inside the otherwise
-// unchanged predictive load shedding system. The paper argues (Ch. 3)
+// unchanged predictive load shedding loadshed. The paper argues (Ch. 3)
 // that MLR+FCBF is the piece that makes predictive shedding work; this
 // ablation shows what the full system loses with each cheaper model.
 func ablationPredictor(cfg Config) (*Result, error) {
 	dur := cfg.dur(20 * time.Second)
 	mkQs := func() []queries.Query { return queries.StandardSet(queries.Config{Seed: cfg.Seed}) }
-	capacity := system.CapacityForOverload(ch4DDoSSrc(cfg, dur), mkQs(), cfg.Seed+110, 2)
-	ref := system.Reference(ch4DDoSSrc(cfg, dur), mkQs(), cfg.Seed+110)
+	capacity := loadshed.CapacityForOverload(ch4DDoSSrc(cfg, dur), mkQs(), cfg.Seed+110, 2)
+	ref := loadshed.Reference(ch4DDoSSrc(cfg, dur), mkQs(), cfg.Seed+110)
 
 	t := Table{
 		ID: "ablation-predictor", Title: "predictive shedding with different cost models",
@@ -57,14 +57,14 @@ func ablationPredictor(cfg Config) (*Result, error) {
 	}
 	metricQueries := []string{"application", "counter", "flows", "high-watermark", "top-k"}
 	for _, kind := range []string{"mlr", "slr", "ewma"} {
-		res := system.New(system.Config{
-			Scheme:        system.Predictive,
+		res := loadshed.New(loadshed.Config{
+			Scheme:        loadshed.Predictive,
 			Capacity:      capacity,
 			Seed:          cfg.Seed + 111,
 			BufferBins:    2,
 			PredictorKind: kind,
 		}, mkQs()).Run(ch4DDoSSrc(cfg, dur))
-		errs := system.MeanErrors(mkQs(), res, ref)
+		errs := loadshed.MeanErrors(mkQs(), res, ref)
 		var avg float64
 		for _, q := range metricQueries {
 			avg += errs[q]
@@ -90,22 +90,22 @@ func ablationPredictor(cfg Config) (*Result, error) {
 func ablationStrategy(cfg Config) (*Result, error) {
 	dur := cfg.dur(15 * time.Second)
 	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
-	capacity := system.CapacityForOverload(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+112, 2)
-	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+112)
+	capacity := loadshed.CapacityForOverload(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+112, 2)
+	ref := loadshed.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+112)
 
 	t := Table{
 		ID: "ablation-strategy", Title: "strategy choice at 2x overload (accuracy avg / min)",
 		Columns: []string{"strategy", "avg accuracy", "min accuracy", "disabled query-bins"},
 	}
 	for _, kd := range strategyKinds() {
-		res := system.New(system.Config{
-			Scheme:         system.Predictive,
+		res := loadshed.New(loadshed.Config{
+			Scheme:         loadshed.Predictive,
 			Capacity:       capacity,
 			Seed:           cfg.Seed + 113,
 			Strategy:       kd.strat,
 			CustomShedding: true,
 		}, mkQs()).Run(srcCESCA2(cfg, dur))
-		accs := system.Accuracies(mkQs(), res, ref, 10)
+		accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 		avg, min, _ := meanAccuracy(accs)
 		disabled := 0
 		for _, b := range res.Bins {

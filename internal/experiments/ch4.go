@@ -7,7 +7,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sampling"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 	"repro/internal/trace"
 )
 
@@ -27,14 +27,14 @@ type ch4Setup struct {
 	cfg      Config
 	dur      time.Duration
 	capacity float64
-	ref      *system.RunResult
+	ref      *loadshed.RunResult
 }
 
 func newCh4Setup(cfg Config) *ch4Setup {
 	dur := cfg.dur(30 * time.Second)
 	s := &ch4Setup{cfg: cfg, dur: dur}
-	s.capacity = system.CapacityForOverload(s.src(), s.mkQs(), cfg.Seed+90, 2)
-	s.ref = system.Reference(s.src(), s.mkQs(), cfg.Seed+90)
+	s.capacity = loadshed.CapacityForOverload(s.src(), s.mkQs(), cfg.Seed+90, 2)
+	s.ref = loadshed.Reference(s.src(), s.mkQs(), cfg.Seed+90)
 	return s
 }
 
@@ -48,8 +48,8 @@ func (s *ch4Setup) mkQs() []queries.Query {
 	return queries.StandardSet(queries.Config{Seed: s.cfg.Seed})
 }
 
-func (s *ch4Setup) run(scheme system.Scheme) *system.RunResult {
-	return system.New(system.Config{
+func (s *ch4Setup) run(scheme loadshed.Scheme) *loadshed.RunResult {
+	return loadshed.New(loadshed.Config{
 		Scheme:     scheme,
 		Capacity:   s.capacity,
 		Seed:       s.cfg.Seed + 91,
@@ -57,7 +57,7 @@ func (s *ch4Setup) run(scheme system.Scheme) *system.RunResult {
 	}, s.mkQs()).Run(s.src())
 }
 
-var ch4Schemes = []system.Scheme{system.Predictive, system.Original, system.Reactive}
+var ch4Schemes = []loadshed.Scheme{loadshed.Predictive, loadshed.Original, loadshed.Reactive}
 
 func fig41(cfg Config) (*Result, error) {
 	s := newCh4Setup(cfg)
@@ -128,7 +128,7 @@ func fig43(cfg Config) (*Result, error) {
 	metricQueries := []string{"application", "counter", "flows", "high-watermark", "top-k"}
 	for _, sch := range ch4Schemes {
 		res := s.run(sch)
-		errs := system.MeanErrors(s.mkQs(), res, s.ref)
+		errs := loadshed.MeanErrors(s.mkQs(), res, s.ref)
 		var avg float64
 		for _, q := range metricQueries {
 			avg += errs[q]
@@ -141,7 +141,7 @@ func fig43(cfg Config) (*Result, error) {
 
 func fig44(cfg Config) (*Result, error) {
 	s := newCh4Setup(cfg)
-	res := s.run(system.Predictive)
+	res := s.run(loadshed.Predictive)
 	como := Series{Name: "como+prediction"}
 	shed := Series{Name: "+load shedding"}
 	query := Series{Name: "+queries"}
@@ -164,7 +164,7 @@ func fig44(cfg Config) (*Result, error) {
 
 func fig456(cfg Config) (*Result, error) {
 	// Single flows query; a SYN flood doubles its load for a third of
-	// the run; capacity fixed so the flood overloads the system.
+	// the run; capacity fixed so the flood overloads the loadshed.
 	dur := cfg.dur(30 * time.Second)
 	pps := trace.CESCA1(cfg.Seed, dur, cfg.Scale).PacketsPerSec
 	mkSrc := func() trace.Source {
@@ -180,20 +180,20 @@ func fig456(cfg Config) (*Result, error) {
 	// query demand, so only the flood overloads the query budget. The
 	// thesis experiment set the availability threshold manually in the
 	// same spirit (§4.5.5).
-	ovh, normal := system.MeasureLoad(srcCESCA1(cfg, dur), mkFlow(), cfg.Seed+92)
+	ovh, normal := loadshed.MeasureLoad(srcCESCA1(cfg, dur), mkFlow(), cfg.Seed+92)
 	capacity := 4*ovh + normal*1.3
-	ref := system.Reference(mkSrc(), mkFlow(), cfg.Seed+92)
+	ref := loadshed.Reference(mkSrc(), mkFlow(), cfg.Seed+92)
 
-	runOne := func(scheme system.Scheme, mk func() []queries.Query) (*system.RunResult, []float64) {
-		res := system.New(system.Config{
+	runOne := func(scheme loadshed.Scheme, mk func() []queries.Query) (*loadshed.RunResult, []float64) {
+		res := loadshed.New(loadshed.Config{
 			Scheme: scheme, Capacity: capacity, Seed: cfg.Seed + 93, BufferBins: 2,
 		}, mk()).Run(mkSrc())
-		errs := system.Errors(mkFlow(), res, ref)["flows"]
+		errs := loadshed.Errors(mkFlow(), res, ref)["flows"]
 		return res, errs
 	}
-	shedFlow, errFlow := runOne(system.Predictive, mkFlow)
-	_, errPkt := runOne(system.Predictive, mkPkt)
-	noShed, errNone := runOne(system.Original, mkFlow)
+	shedFlow, errFlow := runOne(loadshed.Predictive, mkFlow)
+	_, errPkt := runOne(loadshed.Predictive, mkPkt)
+	noShed, errNone := runOne(loadshed.Original, mkFlow)
 
 	cpuShed := Series{Name: "load shedding"}
 	cpuNone := Series{Name: "no load shedding"}
@@ -244,7 +244,7 @@ func tab41(cfg Config) (*Result, error) {
 	perScheme := map[string]map[string][]float64{}
 	for _, sch := range ch4Schemes {
 		res := s.run(sch)
-		perScheme[sch.String()] = system.Errors(s.mkQs(), res, s.ref)
+		perScheme[sch.String()] = loadshed.Errors(s.mkQs(), res, s.ref)
 	}
 	for _, q := range []string{"application", "counter", "flows", "high-watermark", "top-k"} {
 		row := []string{q}

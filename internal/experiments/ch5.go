@@ -8,7 +8,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 )
 
 func init() {
@@ -73,12 +73,12 @@ func fig52(cfg Config) (*Result, error) {
 	}
 	// All counters share a name; rename via interval index is overkill —
 	// accuracy aggregation below works on indices instead.
-	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
-	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
+	demand := loadshed.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
+	ref := loadshed.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+95)
 
 	measure := func(strat sched.Strategy, k float64) (avg, min float64) {
-		res := system.New(system.Config{
-			Scheme: system.Predictive, Capacity: demand * (1 - k),
+		res := loadshed.New(loadshed.Config{
+			Scheme: loadshed.Predictive, Capacity: demand * (1 - k),
 			Seed: cfg.Seed + 96, Strategy: strat,
 		}, mkQs()).Run(srcCESCA2(cfg, dur))
 		metric := mkQs()
@@ -188,20 +188,20 @@ func fig54(cfg Config) (*Result, error) {
 	dur := cfg.dur(15 * time.Second)
 	grid := kGrid(cfg.Quick)
 	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
-	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
-	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
+	demand := loadshed.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
+	ref := loadshed.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+98)
 
 	kind := []struct {
 		name   string
-		scheme system.Scheme
+		scheme loadshed.Scheme
 		strat  sched.Strategy
 		buffer float64
 	}{
-		{"no_lshed", system.NoShed, nil, 2},
-		{"reactive", system.Reactive, nil, 2},
-		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
-		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
-		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+		{"no_lshed", loadshed.NoShed, nil, 2},
+		{"reactive", loadshed.Reactive, nil, 2},
+		{"eq_srates", loadshed.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", loadshed.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", loadshed.Predictive, sched.MMFSPkt{}, 0},
 	}
 	avgFig := Figure{ID: "fig5.4a", Title: "average accuracy vs K", XLabel: "overload level K", YLabel: "accuracy"}
 	minFig := Figure{ID: "fig5.4b", Title: "minimum accuracy vs K", XLabel: "overload level K", YLabel: "accuracy"}
@@ -209,12 +209,12 @@ func fig54(cfg Config) (*Result, error) {
 		avgS := Series{Name: kd.name}
 		minS := Series{Name: kd.name}
 		for _, k := range grid {
-			res := system.New(system.Config{
+			res := loadshed.New(loadshed.Config{
 				Scheme: kd.scheme, Capacity: demand * (1 - k),
 				Seed: cfg.Seed + 99, Strategy: kd.strat,
 				BufferBins: kd.buffer, CustomShedding: true,
 			}, mkQs()).Run(srcCESCA2(cfg, dur))
-			accs := system.Accuracies(mkQs(), res, ref, 10)
+			accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 			avg, min, _ := meanAccuracy(accs)
 			avgS.X, avgS.Y = append(avgS.X, k), append(avgS.Y, avg)
 			minS.X, minS.Y = append(minS.X, k), append(minS.Y, min)
@@ -231,27 +231,27 @@ func fig55(cfg Config) (*Result, error) {
 	dur := cfg.dur(20 * time.Second)
 	const k = 0.2
 	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
-	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
-	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
+	demand := loadshed.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
+	ref := loadshed.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+100)
 
 	fig := Figure{ID: "fig5.5", Title: "autofocus accuracy over time (K=0.2)", XLabel: "interval", YLabel: "accuracy"}
 	for _, kd := range []struct {
 		name   string
-		scheme system.Scheme
+		scheme loadshed.Scheme
 		strat  sched.Strategy
 		buffer float64
 	}{
-		{"no_lshed", system.NoShed, nil, 2},
-		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
-		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
-		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+		{"no_lshed", loadshed.NoShed, nil, 2},
+		{"eq_srates", loadshed.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", loadshed.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", loadshed.Predictive, sched.MMFSPkt{}, 0},
 	} {
-		res := system.New(system.Config{
+		res := loadshed.New(loadshed.Config{
 			Scheme: kd.scheme, Capacity: demand * (1 - k),
 			Seed: cfg.Seed + 101, Strategy: kd.strat,
 			BufferBins: kd.buffer, CustomShedding: true,
 		}, mkQs()).Run(srcCESCA2(cfg, dur))
-		accs := system.Accuracies(mkQs(), res, ref, 10)["autofocus"]
+		accs := loadshed.Accuracies(mkQs(), res, ref, 10)["autofocus"]
 		s := Series{Name: kd.name}
 		for i, a := range accs {
 			s.X = append(s.X, float64(i))
@@ -266,29 +266,29 @@ func tab52(cfg Config) (*Result, error) {
 	dur := cfg.dur(15 * time.Second)
 	const k = 0.5
 	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
-	demand := system.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
-	ref := system.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
+	demand := loadshed.MeasureCapacity(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
+	ref := loadshed.Reference(srcCESCA2(cfg, dur), mkQs(), cfg.Seed+102)
 
 	kinds := []struct {
 		name   string
-		scheme system.Scheme
+		scheme loadshed.Scheme
 		strat  sched.Strategy
 		buffer float64
 	}{
-		{"no_lshed", system.NoShed, nil, 2},
-		{"reactive", system.Reactive, nil, 2},
-		{"eq_srates", system.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
-		{"mmfs_cpu", system.Predictive, sched.MMFSCPU{}, 0},
-		{"mmfs_pkt", system.Predictive, sched.MMFSPkt{}, 0},
+		{"no_lshed", loadshed.NoShed, nil, 2},
+		{"reactive", loadshed.Reactive, nil, 2},
+		{"eq_srates", loadshed.Predictive, sched.EqualRates{RespectMinRates: true}, 0},
+		{"mmfs_cpu", loadshed.Predictive, sched.MMFSCPU{}, 0},
+		{"mmfs_pkt", loadshed.Predictive, sched.MMFSPkt{}, 0},
 	}
 	perKind := map[string]map[string]float64{}
 	for _, kd := range kinds {
-		res := system.New(system.Config{
+		res := loadshed.New(loadshed.Config{
 			Scheme: kd.scheme, Capacity: demand * (1 - k),
 			Seed: cfg.Seed + 103, Strategy: kd.strat,
 			BufferBins: kd.buffer, CustomShedding: true,
 		}, mkQs()).Run(srcCESCA2(cfg, dur))
-		_, _, byQuery := meanAccuracy(system.Accuracies(mkQs(), res, ref, 10))
+		_, _, byQuery := meanAccuracy(loadshed.Accuracies(mkQs(), res, ref, 10))
 		perKind[kd.name] = byQuery
 	}
 	t := Table{

@@ -10,7 +10,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 	"repro/internal/trace"
 )
 
@@ -67,8 +67,8 @@ func fig612(cfg Config) (*Result, error) {
 		{"flow-sampling", base(sampling.Flow), false},
 		{"custom", base(sampling.Custom), true},
 	}
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+60, 2)
-	ref := system.Reference(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+60)
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+60, 2)
+	ref := loadshed.Reference(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+60)
 
 	costT := Table{
 		ID: "fig6.1", Title: "p2p-detector mean prediction and usage per bin",
@@ -79,8 +79,8 @@ func fig612(cfg Config) (*Result, error) {
 		Columns: []string{"method", "mean error"},
 	}
 	for _, v := range variants {
-		res := system.New(system.Config{
-			Scheme: system.Predictive, Capacity: capacity2x,
+		res := loadshed.New(loadshed.Config{
+			Scheme: loadshed.Predictive, Capacity: capacity2x,
 			Seed: cfg.Seed + 61, Strategy: sched.MMFSPkt{},
 			CustomShedding: v.custom,
 		}, v.mk()).Run(ch6Src(cfg, dur))
@@ -94,7 +94,7 @@ func fig612(cfg Config) (*Result, error) {
 		costT.Rows = append(costT.Rows, []string{
 			v.name, fmtF(pred/n, 0), fmtF(used/n, 0), fmtF(rate/n, 2),
 		})
-		errs := system.Errors(ch6Qs(cfg.Seed), res, ref)["p2p-detector"]
+		errs := loadshed.Errors(ch6Qs(cfg.Seed), res, ref)["p2p-detector"]
 		accT.Rows = append(accT.Rows, []string{v.name, fmtPct(stats.Mean(errs))})
 	}
 	return &Result{Tables: []Table{costT, accT}, Notes: []string{
@@ -104,9 +104,9 @@ func fig612(cfg Config) (*Result, error) {
 
 func fig63(cfg Config) (*Result, error) {
 	dur := cfg.dur(20 * time.Second)
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+62, 2)
-	sys := system.New(system.Config{
-		Scheme: system.Predictive, Capacity: capacity2x,
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+62, 2)
+	sys := loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: capacity2x,
 		Seed: cfg.Seed + 63, Strategy: sched.MMFSPkt{}, CustomShedding: true,
 	}, ch6Qs(cfg.Seed))
 	expected := Series{Name: "expected"}
@@ -121,8 +121,8 @@ func fig63(cfg Config) (*Result, error) {
 		}
 	}
 	// Re-create with the probe wired in.
-	sys = system.New(system.Config{
-		Scheme: system.Predictive, Capacity: capacity2x,
+	sys = loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: capacity2x,
 		Seed: cfg.Seed + 63, Strategy: sched.MMFSPkt{}, CustomShedding: true,
 		Probe: probe,
 	}, ch6Qs(cfg.Seed))
@@ -158,8 +158,8 @@ func fig65(cfg Config) (*Result, error) {
 	dur := cfg.dur(15 * time.Second)
 	grid := kGrid(cfg.Quick)
 	mkQs := func() []queries.Query { return ch6Qs(cfg.Seed) }
-	demand := system.MeasureCapacity(ch6Src(cfg, dur), mkQs(), cfg.Seed+64)
-	ref := system.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+64)
+	demand := loadshed.MeasureCapacity(ch6Src(cfg, dur), mkQs(), cfg.Seed+64)
+	ref := loadshed.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+64)
 
 	avgFig := Figure{ID: "fig6.5a", Title: "average accuracy vs K", XLabel: "K", YLabel: "accuracy"}
 	minFig := Figure{ID: "fig6.5b", Title: "minimum accuracy vs K", XLabel: "K", YLabel: "accuracy"}
@@ -170,12 +170,12 @@ func fig65(cfg Config) (*Result, error) {
 		}
 		avgS, minS := Series{Name: name}, Series{Name: name}
 		for _, k := range grid {
-			res := system.New(system.Config{
-				Scheme: system.Predictive, Capacity: demand * (1 - k),
+			res := loadshed.New(loadshed.Config{
+				Scheme: loadshed.Predictive, Capacity: demand * (1 - k),
 				Seed: cfg.Seed + 65, Strategy: sched.MMFSPkt{},
 				CustomShedding: withCustom,
 			}, mkQs()).Run(ch6Src(cfg, dur))
-			accs := system.Accuracies(mkQs(), res, ref, 10)
+			accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 			avg, min, _ := meanAccuracy(accs)
 			avgS.X, avgS.Y = append(avgS.X, k), append(avgS.Y, avg)
 			minS.X, minS.Y = append(minS.X, k), append(minS.Y, min)
@@ -187,7 +187,7 @@ func fig65(cfg Config) (*Result, error) {
 }
 
 // timelineFigure summarizes one run as the Chapter 6 timeline plots do.
-func timelineFigure(id, title string, res *system.RunResult, accs map[string][]float64) Figure {
+func timelineFigure(id, title string, res *loadshed.RunResult, accs map[string][]float64) Figure {
 	rate := Series{Name: "mean sampling rate"}
 	drops := Series{Name: "drops/s"}
 	for i := 0; i < len(res.Bins); i += 10 {
@@ -228,8 +228,8 @@ func timelineFigure(id, title string, res *system.RunResult, accs map[string][]f
 func fig667(cfg Config) (*Result, error) {
 	dur := cfg.dur(20 * time.Second)
 	mkQs := func() []queries.Query { return ch6Qs(cfg.Seed) }
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+66, 2)
-	ref := system.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+66)
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+66, 2)
+	ref := loadshed.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+66)
 
 	var figs []Figure
 	var notes []string
@@ -241,11 +241,11 @@ func fig667(cfg Config) (*Result, error) {
 		{"fig6.6", "eq_srates, no custom shedding", sched.EqualRates{RespectMinRates: true}, false},
 		{"fig6.7", "mmfs_pkt with custom shedding", sched.MMFSPkt{}, true},
 	} {
-		res := system.New(system.Config{
-			Scheme: system.Predictive, Capacity: capacity2x,
+		res := loadshed.New(loadshed.Config{
+			Scheme: loadshed.Predictive, Capacity: capacity2x,
 			Seed: cfg.Seed + 67, Strategy: v.strat, CustomShedding: v.withCust,
 		}, mkQs()).Run(ch6Src(cfg, dur))
-		accs := system.Accuracies(mkQs(), res, ref, 10)
+		accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 		figs = append(figs, timelineFigure(v.id, v.name, res, accs))
 		avg, min, _ := meanAccuracy(accs)
 		notes = append(notes, fmt.Sprintf("%s: avg accuracy %.3f, min %.3f", v.name, avg, min))
@@ -258,14 +258,14 @@ func fig68(cfg Config) (*Result, error) {
 	pps := trace.UPC2(cfg.Seed, dur, cfg.Scale).PacketsPerSec
 	ddos := trace.NewOnOffDDoS(dur/3, dur/3, 8*pps, pkt.IPv4(147, 83, 1, 1))
 	mkQs := func() []queries.Query { return ch6Qs(cfg.Seed) }
-	ovh, normal := system.MeasureLoad(ch6Src(cfg, dur), mkQs(), cfg.Seed+68) // normal-traffic load
-	ref := system.Reference(ch6Src(cfg, dur, ddos), mkQs(), cfg.Seed+68)
-	res := system.New(system.Config{
-		Scheme: system.Predictive, Capacity: ovh + normal*1.2,
+	ovh, normal := loadshed.MeasureLoad(ch6Src(cfg, dur), mkQs(), cfg.Seed+68) // normal-traffic load
+	ref := loadshed.Reference(ch6Src(cfg, dur, ddos), mkQs(), cfg.Seed+68)
+	res := loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: ovh + normal*1.2,
 		Seed: cfg.Seed + 69, Strategy: sched.MMFSPkt{}, CustomShedding: true,
 		BufferBins: 2,
 	}, mkQs()).Run(ch6Src(cfg, dur, ddos))
-	accs := system.Accuracies(mkQs(), res, ref, 10)
+	accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 	fig := timelineFigure("fig6.8", "massive spoofed on/off DDoS", res, accs)
 	return &Result{Figures: []Figure{fig}, Notes: []string{
 		fmt.Sprintf("uncontrolled drops: %d of %d packets", res.TotalDrops(), res.TotalWirePkts()),
@@ -281,11 +281,11 @@ func fig69(cfg Config) (*Result, error) {
 			queries.NewFlows(queries.Config{Seed: cfg.Seed}),
 		}
 	}
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+70, 2)
-	res := system.New(system.Config{
-		Scheme: system.Predictive, Capacity: capacity2x,
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), ch6Qs(cfg.Seed), cfg.Seed+70, 2)
+	res := loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: capacity2x,
 		Seed: cfg.Seed + 71, Strategy: sched.MMFSPkt{}, CustomShedding: true,
-		Arrivals: []system.Arrival{
+		Arrivals: []loadshed.Arrival{
 			{AtBin: bins / 4, Make: func() queries.Query { return queries.NewTopK(queries.Config{Seed: cfg.Seed}, 0) }},
 			{AtBin: bins / 2, Make: func() queries.Query { return queries.NewP2PDetector(queries.Config{Seed: cfg.Seed}) }},
 		},
@@ -311,21 +311,21 @@ func misbehaverTimeline(cfg Config, id, title string, wrap func(custom.ShedderQu
 	dur := cfg.dur(30 * time.Second)
 	bins := int(dur / trace.DefaultTimeBin)
 	mkQs := func() []queries.Query { return ch6Qs(cfg.Seed) }
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+72, 2)
-	ref := system.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+72)
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+72, 2)
+	ref := loadshed.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+72)
 	arrive := func() queries.Query {
 		return wrap(queries.NewP2PDetector(queries.Config{Seed: cfg.Seed + 5}))
 	}
-	sys := system.New(system.Config{
-		Scheme: system.Predictive, Capacity: capacity2x,
+	sys := loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: capacity2x,
 		Seed: cfg.Seed + 73, Strategy: sched.MMFSPkt{}, CustomShedding: true,
-		Arrivals: []system.Arrival{
+		Arrivals: []loadshed.Arrival{
 			{AtBin: bins / 3, Make: arrive},
 			{AtBin: 2 * bins / 3, Make: arrive},
 		},
 	}, mkQs())
 	res := sys.Run(ch6Src(cfg, dur))
-	accs := system.Accuracies(mkQs(), res, ref, 10)
+	accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 	fig := timelineFigure(id, title, res, accs)
 
 	notes := []string{}
@@ -348,13 +348,13 @@ func fig611(cfg Config) (*Result, error) {
 }
 
 // onlineRun is the shared fig6.12-14 / tab6.2 execution.
-func onlineRun(cfg Config) (*system.RunResult, *system.RunResult, func() []queries.Query, float64) {
+func onlineRun(cfg Config) (*loadshed.RunResult, *loadshed.RunResult, func() []queries.Query, float64) {
 	dur := cfg.dur(40 * time.Second)
 	mkQs := func() []queries.Query { return queries.FullSet(queries.Config{Seed: cfg.Seed}) }
-	capacity2x := system.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+74, 2)
-	ref := system.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+74)
-	res := system.New(system.Config{
-		Scheme: system.Predictive, Capacity: capacity2x,
+	capacity2x := loadshed.CapacityForOverload(ch6Src(cfg, dur), mkQs(), cfg.Seed+74, 2)
+	ref := loadshed.Reference(ch6Src(cfg, dur), mkQs(), cfg.Seed+74)
+	res := loadshed.New(loadshed.Config{
+		Scheme: loadshed.Predictive, Capacity: capacity2x,
 		Seed: cfg.Seed + 75, Strategy: sched.MMFSPkt{}, CustomShedding: true,
 	}, mkQs()).Run(ch6Src(cfg, dur))
 	return res, ref, mkQs, capacity2x
@@ -388,7 +388,7 @@ func fig61214(cfg Config) (*Result, error) {
 	}
 	buf.Series = []Series{buffer, drops}
 
-	accs := system.Accuracies(mkQs(), res, ref, 10)
+	accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 	accFig := timelineFigure("fig6.14", "overall accuracy and shedding rate", res, accs)
 
 	avg, min, _ := meanAccuracy(accs)
@@ -399,7 +399,7 @@ func fig61214(cfg Config) (*Result, error) {
 
 func tab62(cfg Config) (*Result, error) {
 	res, ref, mkQs, _ := onlineRun(cfg)
-	accs := system.Accuracies(mkQs(), res, ref, 10)
+	accs := loadshed.Accuracies(mkQs(), res, ref, 10)
 	t := Table{
 		ID: "tab6.2", Title: "accuracy by query (mean ± stdev)",
 		Columns: []string{"query", "accuracy"},

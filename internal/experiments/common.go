@@ -9,7 +9,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sampling"
 	"repro/internal/stats"
-	"repro/internal/system"
+	"repro/pkg/loadshed"
 	"repro/internal/trace"
 )
 
@@ -217,9 +217,9 @@ func (r *predRun) topFeatures(qi, n int) string {
 
 // schemeRun runs one scheme over a source and returns the result plus
 // per-query mean errors against a reference.
-func schemeRun(cfg system.Config, src trace.Source, mkQs func() []queries.Query, ref *system.RunResult) (*system.RunResult, map[string]float64) {
-	res := system.New(cfg, mkQs()).Run(src)
-	errs := system.MeanErrors(mkQs(), res, ref)
+func schemeRun(cfg loadshed.Config, src trace.Source, mkQs func() []queries.Query, ref *loadshed.RunResult) (*loadshed.RunResult, map[string]float64) {
+	res := loadshed.New(cfg, mkQs()).Run(src)
+	errs := loadshed.MeanErrors(mkQs(), res, ref)
 	return res, errs
 }
 

@@ -1,0 +1,200 @@
+package loadshed
+
+// api.go re-exports the pieces of the internal packages an embedder
+// needs next to the engine — queries, strategies, traffic sources and
+// trace files — so that cmd/, examples/ and downstream users build
+// whole pipelines against this package alone without reaching into
+// internal/.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/custom"
+	"repro/internal/pkt"
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Core re-exported types.
+type (
+	// Query is a black-box monitoring application (Table 2.2).
+	Query = queries.Query
+	// QueryConfig carries query construction tunables.
+	QueryConfig = queries.Config
+	// Result is one query's answer for a measurement interval.
+	Result = queries.Result
+	// CostModel converts a query's counted operations into cycles.
+	CostModel = queries.CostModel
+	// Strategy decides per-query sampling rates under overload (Ch. 5).
+	Strategy = sched.Strategy
+	// Source produces a trace one batch at a time.
+	Source = trace.Source
+	// TraceConfig parameterizes the synthetic traffic generator.
+	TraceConfig = trace.Config
+	// Generator is the deterministic synthetic traffic source.
+	Generator = trace.Generator
+	// TraceStats summarizes a trace like Table 2.3 reports its datasets.
+	TraceStats = trace.Stats
+	// Anomaly injects attack traffic into a generated trace.
+	Anomaly = trace.Anomaly
+	// ShedderMode is a custom-shedding query's enforcement mode (§6.1.1).
+	ShedderMode = custom.Mode
+)
+
+// Strategies.
+
+// EqualRates returns the Chapter 4 strategy: one global sampling rate.
+// With respectMinRates it becomes the eq_srates baseline of Chapter 5.
+func EqualRates(respectMinRates bool) Strategy {
+	return sched.EqualRates{RespectMinRates: respectMinRates}
+}
+
+// MMFSCPU returns max-min fair share in CPU cycles (§5.2.1).
+func MMFSCPU() Strategy { return sched.MMFSCPU{} }
+
+// MMFSPkt returns max-min fair share in packet access (§5.2.2), the
+// paper's preferred strategy.
+func MMFSPkt() Strategy { return sched.MMFSPkt{} }
+
+// StrategyByName maps the names used in figures and on command lines —
+// "equal", "eq_srates", "mmfs_cpu", "mmfs_pkt" — to strategies.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "equal":
+		return sched.EqualRates{}, nil
+	case "eq_srates":
+		return sched.EqualRates{RespectMinRates: true}, nil
+	case "mmfs_cpu":
+		return sched.MMFSCPU{}, nil
+	case "mmfs_pkt":
+		return sched.MMFSPkt{}, nil
+	default:
+		return nil, fmt.Errorf("loadshed: unknown strategy %q", name)
+	}
+}
+
+// ParseScheme maps a scheme name — "predictive", "reactive",
+// "original", "none"/"no_lshed" — to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "predictive":
+		return Predictive, nil
+	case "reactive":
+		return Reactive, nil
+	case "original":
+		return Original, nil
+	case "none", "noshed", "no_lshed":
+		return NoShed, nil
+	default:
+		return 0, fmt.Errorf("loadshed: unknown scheme %q", name)
+	}
+}
+
+// Queries.
+
+// StandardQueries returns the seven-query set of the Chapter 3/4
+// evaluation.
+func StandardQueries(cfg QueryConfig) []Query { return queries.StandardSet(cfg) }
+
+// AllQueries returns all ten Table 2.2 queries.
+func AllQueries(cfg QueryConfig) []Query { return queries.FullSet(cfg) }
+
+// Individual query constructors, for building custom sets.
+var (
+	// NewCounter counts packets and bytes.
+	NewCounter = queries.NewCounter
+	// NewFlows counts distinct 5-tuple flows.
+	NewFlows = queries.NewFlows
+	// NewTopK tracks the k busiest destinations.
+	NewTopK = queries.NewTopK
+	// NewP2PDetector classifies p2p traffic and can shed its own load
+	// (Chapter 6).
+	NewP2PDetector = queries.NewP2PDetector
+)
+
+// NewSelfishP2P returns a p2p-detector that ignores custom shed
+// requests — the adversary the enforcement policy must contain (§6.3.4).
+func NewSelfishP2P(cfg QueryConfig) Query {
+	return custom.NewSelfish(queries.NewP2PDetector(cfg))
+}
+
+// NewBuggyP2P returns a p2p-detector whose shedding implementation is
+// broken (§6.3.5).
+func NewBuggyP2P(cfg QueryConfig) Query {
+	return custom.NewBuggy(queries.NewP2PDetector(cfg))
+}
+
+// Traffic generation.
+
+// NewGenerator builds a deterministic synthetic traffic source.
+func NewGenerator(cfg TraceConfig) *Generator { return trace.NewGenerator(cfg) }
+
+// IPv4 packs four octets into the packed address form packets use.
+func IPv4(a, b, c, d byte) uint32 { return pkt.IPv4(a, b, c, d) }
+
+// Dataset presets approximating the paper's traces (Table 2.3).
+var (
+	CESCA1  = trace.CESCA1
+	CESCA2  = trace.CESCA2
+	Abilene = trace.Abilene
+	CENIC   = trace.CENIC
+	UPC1    = trace.UPC1
+	UPC2    = trace.UPC2
+)
+
+// presets is the single source of the dataset-preset names, in the
+// order Table 2.3 lists the captures.
+var presets = []struct {
+	name string
+	mk   func(seed uint64, dur time.Duration, scale float64) TraceConfig
+}{
+	{"cesca1", trace.CESCA1},
+	{"cesca2", trace.CESCA2},
+	{"abilene", trace.Abilene},
+	{"cenic", trace.CENIC},
+	{"upc1", trace.UPC1},
+	{"upc2", trace.UPC2},
+}
+
+// PresetNames lists the dataset presets PresetConfig accepts.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.name
+	}
+	return out
+}
+
+// PresetConfig returns the named dataset preset's generator config.
+func PresetConfig(name string, seed uint64, dur time.Duration, scale float64) (TraceConfig, error) {
+	for _, p := range presets {
+		if p.name == strings.ToLower(name) {
+			return p.mk(seed, dur, scale), nil
+		}
+	}
+	return TraceConfig{}, fmt.Errorf("loadshed: unknown preset %q", name)
+}
+
+// Anomaly constructors.
+var (
+	// NewSYNFlood builds the spoofed SYN flood of §4.5.5.
+	NewSYNFlood = trace.NewSYNFlood
+	// NewOnOffDDoS builds the 1 s on / 1 s off spoofed DDoS of §3.4.3.
+	NewOnOffDDoS = trace.NewOnOffDDoS
+)
+
+// Trace files.
+
+// ReadTrace loads a recorded trace; it replays byte-identically
+// everywhere.
+func ReadTrace(r io.Reader) (Source, error) { return trace.ReadAll(r) }
+
+// WriteTrace drains src into w in the trace file format.
+func WriteTrace(w io.Writer, src Source) error { return trace.WriteAll(w, src) }
+
+// MeasureTrace drains src and summarizes it, resetting it afterwards.
+func MeasureTrace(src Source) TraceStats { return trace.Measure(src) }

@@ -1,4 +1,4 @@
-package system
+package loadshed
 
 import (
 	"testing"
@@ -61,6 +61,9 @@ func p2pWith(t *testing.T, dur time.Duration, customShed bool, method func(queri
 }
 
 func TestCustomSheddingBeatsPacketSamplingForP2P(t *testing.T) {
+	if testing.Short() {
+		t.Skip("custom-shedding comparison is slow")
+	}
 	const dur = 20 * time.Second
 	// With custom shedding: the detector degrades to the port heuristic
 	// for uninspected flows.

@@ -1,7 +1,17 @@
-// Package system is the monitoring system harness: the CoMo-like batch
-// loop that captures traffic, extracts features, predicts per-query
-// cost, decides and applies load shedding, runs the queries, and feeds
-// measurements back into the controller.
+// Package loadshed is the public monitoring engine of this reproduction
+// of "Load Shedding in Network Monitoring Applications" (Barlet-Ros et
+// al., USENIX ATC 2007): the CoMo-like batch pipeline that captures
+// traffic, extracts features, predicts per-query cost, decides and
+// applies load shedding, runs the queries on a bounded worker pool, and
+// feeds measurements back into the controller.
+//
+// Each captured batch flows through six explicit stages (see
+// DESIGN.md §2 and stages.go): admit → platformOverhead →
+// extractPredict → decideShedding → execute → feedback, with a
+// BinContext threading state between them. The execute stage fans the
+// queries out over Config.Workers goroutines; runs are bit-identical
+// for any worker count because every query owns its RNG streams and
+// results merge in index order.
 //
 // It implements the four schemes the thesis evaluates against each
 // other (§4.5.1, §5.5.3):
@@ -20,11 +30,12 @@
 // the instrumented cost model (see queries.CostModel and DESIGN.md),
 // with optional multiplicative measurement noise and rare spikes that
 // stand in for cache misses and context switches (§3.2.4).
-package system
+package loadshed
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -94,6 +105,13 @@ type Config struct {
 	SpikeProb   float64 // probability of a cost spike per query-bin (default 0)
 	SpikeFactor float64 // spike multiplier (default 2.5)
 
+	// Workers bounds the worker pool the execute stage fans queries out
+	// on. 0 selects runtime.GOMAXPROCS(0); 1 runs every query inline on
+	// the pipeline goroutine. Results are bit-identical for any value:
+	// each query owns its RNG streams and per-bin results merge in
+	// query-index order.
+	Workers int
+
 	BufferBins      float64 // capture buffer size in bins of traffic (default 50 ≈ 5 s, a 256 MB DAG buffer at evaluation rates; Ch. 5's no-shedding emulation sets 2 ≈ 200 ms)
 	ReactiveMinRate float64 // α of Eq. 4.1 (default 0.01)
 
@@ -145,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.Capacity <= 0 {
 		c.Capacity = math.Inf(1)
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -192,7 +213,9 @@ type RunResult struct {
 	Intervals []IntervalResults
 }
 
-// runQuery is the per-query runtime state.
+// runQuery is the per-query runtime state. Everything here is owned by
+// whichever worker runs the query within a bin; nothing is shared
+// between queries, which is what lets the execute stage fan out.
 type runQuery struct {
 	q     queries.Query
 	pred  predict.Predictor
@@ -200,8 +223,8 @@ type runQuery struct {
 	ext   *features.Extractor
 	fsamp *sampling.FlowSampler
 	psamp *sampling.PacketSampler
-	rate  float64
-	shed  *custom.State // non-nil when the query supports custom shedding
+	noise *hash.XorShift // measurement-noise stream, private per query
+	shed  *custom.State  // non-nil when the query supports custom shedding
 }
 
 // System runs monitoring experiments. Construct with New, call Run.
@@ -263,7 +286,7 @@ func (s *System) addQuery(q queries.Query) {
 		ext:   features.NewExtractor(s.cfg.Seed + uint64(i)*0x10001 + 0x9fe),
 		fsamp: sampling.NewFlowSampler(s.cfg.Seed + uint64(i)*31 + 7),
 		psamp: sampling.NewPacketSampler(s.cfg.Seed + uint64(i)*17 + 3),
-		rate:  1,
+		noise: hash.NewXorShift(s.cfg.Seed + uint64(i)*0x2b5ad + 0x6e01),
 	}
 	switch s.cfg.PredictorKind {
 	case "slr":

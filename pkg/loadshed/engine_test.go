@@ -1,4 +1,4 @@
-package system
+package loadshed
 
 import (
 	"math"
@@ -115,6 +115,9 @@ func TestPredictiveKeepsCPUNearBudget(t *testing.T) {
 }
 
 func TestPredictiveAccuracyBeatsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full accuracy comparison is slow")
+	}
 	const dur = 30 * time.Second
 	capacity := overloadCapacity(t, 5, dur, 2)
 	metric := stdQueries()
@@ -160,6 +163,9 @@ func TestReactiveWorseThanPredictiveUnderDDoS(t *testing.T) {
 	// buffer emulation and a massive spoofed DDoS, the reactive system
 	// drops packets without control while the predictive one sheds by
 	// sampling and never loses a packet.
+	if testing.Short() {
+		t.Skip("DDoS scheme comparison is slow")
+	}
 	const dur = 40 * time.Second
 	demand := MeasureDemand(ddosSource(6, dur), stdQueries(), 60)
 	capacity := demand / 2.5

@@ -1,9 +1,10 @@
-// Package repro is the public face of this reproduction of "Load
+// Package repro is the historical facade of this reproduction of "Load
 // Shedding in Network Monitoring Applications" (Barlet-Ros, Iannaccone,
 // Sanjuàs-Cuxart, Amores-López, Solé-Pareta; USENIX ATC 2007).
 //
-// The package re-exports the pieces a downstream user needs to build a
-// monitoring pipeline with predictive load shedding:
+// The monitoring engine now lives in the public package
+// repro/pkg/loadshed; this package remains as a thin alias layer for
+// existing embedders and keeps the original names working:
 //
 //	src := repro.NewGenerator(repro.CESCA2(1, 30*time.Second, 0.1))
 //	qs := repro.StandardQueries(repro.QueryConfig{})
@@ -14,71 +15,67 @@
 //	}, qs)
 //	res := mon.Run(src)
 //
-// Results carry per-bin controller state (predictions, sampling rates,
-// buffer occupancy, drops) and per-interval query answers; compare
-// against repro.Reference to obtain accuracy numbers. The experiment
+// New code should import repro/pkg/loadshed directly. The experiment
 // harness behind every table and figure of the paper lives in
 // internal/experiments and is driven by cmd/lsrepro.
 package repro
 
 import (
-	"repro/internal/custom"
-	"repro/internal/queries"
-	"repro/internal/sched"
-	"repro/internal/system"
-	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 // Core monitoring types.
 type (
 	// Monitor is the CoMo-like monitoring system with load shedding.
-	Monitor = system.System
+	Monitor = loadshed.System
 	// MonitorConfig parameterizes a Monitor.
-	MonitorConfig = system.Config
+	MonitorConfig = loadshed.Config
 	// RunResult is everything a monitoring run recorded.
-	RunResult = system.RunResult
+	RunResult = loadshed.RunResult
+	// BinStats records one time bin of a run.
+	BinStats = loadshed.BinStats
 	// Scheme selects the load shedding scheme.
-	Scheme = system.Scheme
+	Scheme = loadshed.Scheme
 	// Query is a black-box monitoring application.
-	Query = queries.Query
+	Query = loadshed.Query
 	// QueryConfig carries query construction tunables.
-	QueryConfig = queries.Config
+	QueryConfig = loadshed.QueryConfig
 	// Strategy decides per-query sampling rates under overload.
-	Strategy = sched.Strategy
+	Strategy = loadshed.Strategy
 	// TraceConfig parameterizes the synthetic traffic generator.
-	TraceConfig = trace.Config
+	TraceConfig = loadshed.TraceConfig
 	// TraceSource produces batches of packets.
-	TraceSource = trace.Source
+	TraceSource = loadshed.Source
 	// Anomaly injects attack traffic into a generated trace.
-	Anomaly = trace.Anomaly
+	Anomaly = loadshed.Anomaly
 )
 
 // Load shedding schemes.
 const (
 	// Predictive is the paper's scheme (Algorithm 1).
-	Predictive = system.Predictive
+	Predictive = loadshed.Predictive
 	// Reactive sheds based on the previous batch's cost (Eq. 4.1).
-	Reactive = system.Reactive
+	Reactive = loadshed.Reactive
 	// Original drops packets at the capture buffer, like unmodified CoMo.
-	Original = system.Original
+	Original = loadshed.Original
 	// NoShed processes everything the buffer admits.
-	NoShed = system.NoShed
+	NoShed = loadshed.NoShed
 )
 
 // NewMonitor builds a monitoring system around fresh query instances.
 func NewMonitor(cfg MonitorConfig, qs []Query) *Monitor {
-	return system.New(cfg, qs)
+	return loadshed.New(cfg, qs)
 }
 
 // Reference produces the ground-truth run used for accuracy evaluation.
 func Reference(src TraceSource, qs []Query, seed uint64) *RunResult {
-	return system.Reference(src, qs, seed)
+	return loadshed.Reference(src, qs, seed)
 }
 
 // MeasureDemand returns the mean per-bin cycles the queries need at
 // full rate (query work only; see MeasureCapacity for the full budget).
 func MeasureDemand(src TraceSource, qs []Query, seed uint64) float64 {
-	return system.MeasureDemand(src, qs, seed)
+	return loadshed.MeasureDemand(src, qs, seed)
 }
 
 // MeasureCapacity returns the minimum per-bin capacity at which the
@@ -86,81 +83,75 @@ func MeasureDemand(src TraceSource, qs []Query, seed uint64) float64 {
 // plus full-rate query demand. Overload experiments use
 // capacity = MeasureCapacity × (1 − K).
 func MeasureCapacity(src TraceSource, qs []Query, seed uint64) float64 {
-	return system.MeasureCapacity(src, qs, seed)
+	return loadshed.MeasureCapacity(src, qs, seed)
 }
 
 // CapacityForOverload returns a capacity putting the query demand at
 // `factor` times the cycles left after overhead.
 func CapacityForOverload(src TraceSource, qs []Query, seed uint64, factor float64) float64 {
-	return system.CapacityForOverload(src, qs, seed, factor)
+	return loadshed.CapacityForOverload(src, qs, seed, factor)
 }
 
 // Errors computes per-query, per-interval accuracy errors of a run
 // against a reference run.
 func Errors(metric []Query, got, ref *RunResult) map[string][]float64 {
-	return system.Errors(metric, got, ref)
+	return loadshed.Errors(metric, got, ref)
 }
 
 // MeanErrors averages Errors per query.
 func MeanErrors(metric []Query, got, ref *RunResult) map[string]float64 {
-	return system.MeanErrors(metric, got, ref)
+	return loadshed.MeanErrors(metric, got, ref)
 }
 
 // Strategies.
 
 // EqualRates returns the Chapter 4 strategy: one global sampling rate.
 // With respectMinRates it becomes the eq_srates baseline of Chapter 5.
-func EqualRates(respectMinRates bool) Strategy {
-	return sched.EqualRates{RespectMinRates: respectMinRates}
-}
+func EqualRates(respectMinRates bool) Strategy { return loadshed.EqualRates(respectMinRates) }
 
 // MMFSCPU returns max-min fair share in CPU cycles (§5.2.1).
-func MMFSCPU() Strategy { return sched.MMFSCPU{} }
+func MMFSCPU() Strategy { return loadshed.MMFSCPU() }
 
 // MMFSPkt returns max-min fair share in packet access (§5.2.2), the
 // paper's preferred strategy.
-func MMFSPkt() Strategy { return sched.MMFSPkt{} }
+func MMFSPkt() Strategy { return loadshed.MMFSPkt() }
 
 // Queries.
 
 // StandardQueries returns the seven-query set of the Chapter 3/4
 // evaluation.
-func StandardQueries(cfg QueryConfig) []Query { return queries.StandardSet(cfg) }
+func StandardQueries(cfg QueryConfig) []Query { return loadshed.StandardQueries(cfg) }
 
 // AllQueries returns all ten Table 2.2 queries.
-func AllQueries(cfg QueryConfig) []Query { return queries.FullSet(cfg) }
+func AllQueries(cfg QueryConfig) []Query { return loadshed.AllQueries(cfg) }
 
 // NewSelfishP2P returns a p2p-detector that ignores custom shed
 // requests — the adversary the enforcement policy must contain (§6.3.4).
-func NewSelfishP2P(cfg QueryConfig) Query {
-	return custom.NewSelfish(queries.NewP2PDetector(cfg))
-}
+func NewSelfishP2P(cfg QueryConfig) Query { return loadshed.NewSelfishP2P(cfg) }
 
 // NewBuggyP2P returns a p2p-detector whose shedding implementation is
 // broken (§6.3.5).
-func NewBuggyP2P(cfg QueryConfig) Query {
-	return custom.NewBuggy(queries.NewP2PDetector(cfg))
-}
+func NewBuggyP2P(cfg QueryConfig) Query { return loadshed.NewBuggyP2P(cfg) }
 
 // Traffic generation.
 
 // NewGenerator builds a deterministic synthetic traffic source.
-func NewGenerator(cfg TraceConfig) *trace.Generator { return trace.NewGenerator(cfg) }
+func NewGenerator(cfg TraceConfig) *loadshed.Generator { return loadshed.NewGenerator(cfg) }
 
 // Dataset presets approximating the paper's traces (Table 2.3).
 var (
-	CESCA1  = trace.CESCA1
-	CESCA2  = trace.CESCA2
-	Abilene = trace.Abilene
-	CENIC   = trace.CENIC
-	UPC1    = trace.UPC1
-	UPC2    = trace.UPC2
+	CESCA1  = loadshed.CESCA1
+	CESCA2  = loadshed.CESCA2
+	Abilene = loadshed.Abilene
+	CENIC   = loadshed.CENIC
+	UPC1    = loadshed.UPC1
+	UPC2    = loadshed.UPC2
 )
 
 // Anomaly constructors.
 var (
 	// NewSYNFlood builds the spoofed SYN flood of §4.5.5.
-	NewSYNFlood = trace.NewSYNFlood
+	NewSYNFlood = loadshed.NewSYNFlood
 	// NewOnOffDDoS builds the 1 s on / 1 s off spoofed DDoS of §3.4.3.
-	NewOnOffDDoS = trace.NewOnOffDDoS
+	NewOnOffDDoS = loadshed.NewOnOffDDoS
 )
