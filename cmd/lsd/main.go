@@ -5,13 +5,18 @@
 //
 //	lsd -preset cesca2 -dur 30s -overload 2 -scheme predictive -strategy mmfs_pkt
 //	lsd -trace trace.bin -overload 2.5 -scheme reactive
+//
+// With -shards N the trace is split across N links by flow hash and a
+// Cluster of per-link monitors runs under the global budget coordinator
+// selected by -shard-policy ("static" disables coordination):
+//
+//	lsd -preset cesca2 -overload 2 -shards 4 -shard-policy mmfs_cpu
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/stats"
@@ -30,7 +35,9 @@ func main() {
 		strategy  = flag.String("strategy", "mmfs_pkt", "equal | eq_srates | mmfs_cpu | mmfs_pkt (predictive only)")
 		full      = flag.Bool("full", false, "run all ten queries instead of the standard seven")
 		customOn  = flag.Bool("custom", true, "enable custom load shedding (Chapter 6)")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "query execution worker pool size")
+		workers   = flag.Int("workers", 0, "query execution worker pool size (0 = auto: all cores single-link, inline per shard with -shards)")
+		shards    = flag.Int("shards", 1, "split the trace across N links and run a Cluster")
+		shardPol  = flag.String("shard-policy", "mmfs_cpu", "cross-shard budget policy: static | equal | eq_srates | mmfs_cpu | mmfs_pkt")
 	)
 	flag.Parse()
 
@@ -42,6 +49,11 @@ func main() {
 			return loadshed.AllQueries(loadshed.QueryConfig{Seed: *seed})
 		}
 		return loadshed.StandardQueries(loadshed.QueryConfig{Seed: *seed})
+	}
+
+	if *shards > 1 {
+		runCluster(src, mkQs, *shards, *shardPol, *scheme, *strategy, *overload, *seed, *customOn, *workers)
+		return
 	}
 
 	fmt.Println("measuring full-rate demand ...")
@@ -92,6 +104,70 @@ func main() {
 		fmt.Printf("  %-16s %6.2f%%\n", q.Name(), errs[q.Name()]*100)
 	}
 	fmt.Printf("\nuncontrolled drops: %d of %d packets (%.3f%%)\n",
+		res.TotalDrops(), res.TotalWirePkts(),
+		100*float64(res.TotalDrops())/float64(res.TotalWirePkts()))
+}
+
+// runCluster splits the trace across n links by flow hash and runs one
+// monitor per link under the global budget coordinator.
+func runCluster(src loadshed.Source, mkQs func() []loadshed.Query, n int, policyName, scheme, strategy string, overload float64, seed uint64, customOn bool, workers int) {
+	policy, err := loadshed.ShardPolicyByName(policyName)
+	die(err)
+
+	fmt.Printf("splitting trace across %d links ...\n", n)
+	links := loadshed.SplitFlows(src, n, seed)
+
+	fmt.Println("measuring per-link full-rate demand ...")
+	var total float64
+	for i, l := range links {
+		ovh, demand := loadshed.MeasureLoad(l, mkQs(), seed+1)
+		cap := ovh + demand/overload
+		total += cap
+		fmt.Printf("  link%d: demand %.3g + overhead %.3g cycles/bin -> share %.3g\n", i, demand, ovh, cap)
+	}
+	fmt.Printf("total machine capacity %.3g cycles/bin (overload %.2fx per link), policy %s\n",
+		total, overload, policyName)
+
+	base := loadshed.Config{Seed: seed + 2, CustomShedding: customOn, Workers: workers}
+	base.Scheme, err = loadshed.ParseScheme(scheme)
+	die(err)
+	if base.Scheme == loadshed.Predictive {
+		base.Strategy, err = loadshed.StrategyByName(strategy)
+		die(err)
+	}
+	shardCfgs := make([]loadshed.Shard, n)
+	for i, l := range links {
+		shardCfgs[i] = loadshed.Shard{Name: fmt.Sprintf("link%d", i), Source: l, Queries: mkQs()}
+	}
+
+	fmt.Printf("running %d-shard cluster ...\n", n)
+	res := loadshed.NewCluster(loadshed.ClusterConfig{
+		Base:          base,
+		TotalCapacity: total,
+		ShardPolicy:   policy,
+	}, shardCfgs).Run()
+
+	fmt.Printf("\n%-8s %-10s %-9s %-8s %-10s %-8s\n", "shard", "pkts", "drops", "rate", "cap-share", "err%")
+	for i, sh := range res.Shards {
+		var rate, cap float64
+		for _, b := range sh.Result.Bins {
+			rate += stats.Mean(b.Rates)
+		}
+		for _, c := range sh.Capacities {
+			cap += c
+		}
+		nb := float64(len(sh.Result.Bins))
+		ref := loadshed.Reference(links[i], mkQs(), seed+1)
+		var errSum float64
+		errs := loadshed.MeanErrors(mkQs(), sh.Result, ref)
+		for _, e := range errs {
+			errSum += e
+		}
+		fmt.Printf("%-8s %-10d %-9d %-8.3f %-10.2f %-8.2f\n",
+			sh.Name, sh.Result.TotalWirePkts(), sh.Result.TotalDrops(),
+			rate/nb, cap/nb/(total/float64(n)), 100*errSum/float64(len(errs)))
+	}
+	fmt.Printf("\naggregate: %d of %d packets dropped uncontrolled (%.3f%%)\n",
 		res.TotalDrops(), res.TotalWirePkts(),
 		100*float64(res.TotalDrops())/float64(res.TotalWirePkts()))
 }

@@ -1,0 +1,94 @@
+// Multi-link cluster with a global budget coordinator: the scenario no
+// per-link shedder can handle. Three links share one machine; a spoofed
+// on/off DDoS swamps link 0 for the middle half of the run while the
+// other links idle along. A static equal split strands two thirds of
+// the machine on the calm links and forces the attacked link to shed
+// hard; the coordinator watches per-link demand every bin and moves the
+// idle links' cycles to where the overload actually lands, so the
+// aggregate answers stay accurate through the attack.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/pkg/loadshed"
+)
+
+const (
+	dur    = 30 * time.Second
+	nLinks = 3
+	seed   = 7
+)
+
+func mkShards() []loadshed.Shard {
+	links := loadshed.AsymmetricMix(seed, dur, 0.08, nLinks)
+	shards := make([]loadshed.Shard, len(links))
+	for i, l := range links {
+		shards[i] = loadshed.Shard{
+			Name:   l.Name,
+			Source: loadshed.NewGenerator(l.Config),
+			Queries: []loadshed.Query{
+				loadshed.NewFlows(loadshed.QueryConfig{Seed: uint64(i)}),
+				loadshed.NewCounter(loadshed.QueryConfig{Seed: uint64(i)}),
+			},
+		}
+	}
+	return shards
+}
+
+func main() {
+	// Size the machine so the calm links fit with headroom but the
+	// attacked link's flood does not: absorbing it takes cycles that
+	// only exist on the other links.
+	var total float64
+	for i, sh := range mkShards() {
+		c := loadshed.MeasureCapacity(sh.Source, sh.Queries, 99)
+		if i == 0 {
+			c *= 0.6
+		}
+		total += c
+	}
+	fmt.Printf("machine capacity: %.3g cycles/bin shared by %d links\n\n", total, nLinks)
+
+	run := func(policy loadshed.Strategy, label string) float64 {
+		res := loadshed.NewCluster(loadshed.ClusterConfig{
+			Base:          loadshed.Config{Scheme: loadshed.Predictive, Strategy: loadshed.MMFSPkt(), Seed: 42},
+			TotalCapacity: total,
+			ShardPolicy:   policy,
+		}, mkShards()).Run()
+
+		fmt.Printf("%s:\n", label)
+		refs := mkShards()
+		var errSum float64
+		n := 0
+		for i, sh := range res.Shards {
+			ref := loadshed.Reference(refs[i].Source, refs[i].Queries, 99)
+			errs := loadshed.Errors(refs[i].Queries, sh.Result, ref)["flows"]
+			var rate float64
+			for _, b := range sh.Result.Bins {
+				rate += stats.Mean(b.Rates)
+			}
+			fmt.Printf("  %-11s flow error mean %5.2f%% max %5.2f%%, mean rate %.2f, drops %d\n",
+				sh.Name, 100*stats.Mean(errs), 100*stats.Max(errs),
+				rate/float64(len(sh.Result.Bins)), sh.Result.TotalDrops())
+			for _, e := range loadshed.MeanErrors(refs[i].Queries, sh.Result, ref) {
+				errSum += e
+				n++
+			}
+		}
+		agg := errSum / float64(n)
+		fmt.Printf("  aggregate mean error %.2f%%\n\n", 100*agg)
+		return agg
+	}
+
+	static := run(nil, "static equal split (isolated per-link shedders)")
+	coord := run(loadshed.MMFSCPU(), "coordinated (global mmfs_cpu budget)")
+
+	fmt.Printf("coordinator improves aggregate accuracy %.2f%% -> %.2f%%\n", 100*static, 100*coord)
+	fmt.Println("\nexpected shape: under the static split the DDoS link sheds to tiny")
+	fmt.Println("rates while the calm links sit on spare budget; the coordinator")
+	fmt.Println("moves that budget to the attacked link, so its flow counts stay")
+	fmt.Println("accurate and aggregate error drops strictly below the static split.")
+}

@@ -129,6 +129,16 @@ func (e *Extractor) StartInterval() {
 	}
 }
 
+// IntervalEstimates returns the current distinct-count estimate of each
+// aggregate's interval bitmap. A freshly rotated extractor reports all
+// zeros; regression tests use this to compare an extractor's interval
+// state against a fresh-extractor oracle.
+func (e *Extractor) IntervalEstimates() []float64 {
+	out := make([]float64, pkt.NumAggregates)
+	copy(out, e.intEst[:])
+	return out
+}
+
 // ExtractFromBatchOf computes a feature vector for the batch most
 // recently extracted by src, relative to e's own interval state. It
 // merges src's per-batch bitmaps into e's interval bitmaps instead of

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"repro/internal/hash"
+	"repro/internal/pkt"
+)
+
+// SplitFlows partitions src into n per-link sources by hashing each
+// packet's 5-tuple: link = H3(flow key) mod n. The split is
+// deterministic per seed and flow-consistent — every packet of a flow
+// lands on the same link, the way a flow-aware load balancer feeds a
+// bank of monitors. The whole trace is materialized (src is drained
+// once and reset), so the returned sources are independent and safe
+// for concurrent consumption by cluster shards.
+func SplitFlows(src Source, n int, seed uint64) []*MemorySource {
+	if n < 1 {
+		panic("trace: split into fewer than 1 link")
+	}
+	h := hash.NewH3(seed + 0x11f7)
+	src.Reset()
+	outs := make([][]pkt.Batch, n)
+	for {
+		b, ok := src.NextBatch()
+		if !ok {
+			break
+		}
+		parts := make([][]pkt.Packet, n)
+		for i := range b.Pkts {
+			k := b.Pkts[i].FlowKey()
+			link := int(h.Hash(k[:]) % uint64(n))
+			parts[link] = append(parts[link], b.Pkts[i])
+		}
+		for l := 0; l < n; l++ {
+			outs[l] = append(outs[l], pkt.Batch{Start: b.Start, Bin: b.Bin, Pkts: parts[l]})
+		}
+	}
+	src.Reset()
+	srcs := make([]*MemorySource, n)
+	for l := 0; l < n; l++ {
+		srcs[l] = NewMemorySource(outs[l], src.TimeBin())
+	}
+	return srcs
+}

@@ -424,3 +424,117 @@ func BenchmarkGenerator(b *testing.B) {
 		b.ReportMetric(float64(pkts)/float64(b.N), "pkts/batch")
 	}
 }
+
+func TestSplitFlowsPartitionsEveryPacket(t *testing.T) {
+	g := NewGenerator(shortCfg(17))
+	whole := Measure(g)
+	links := SplitFlows(g, 3, 7)
+	if len(links) != 3 {
+		t.Fatalf("got %d links, want 3", len(links))
+	}
+	total, nonEmpty := 0, 0
+	for _, l := range links {
+		st := Measure(l)
+		if st.Batches != whole.Batches {
+			t.Fatalf("link batch count %d, want %d (splitter must keep bin alignment)", st.Batches, whole.Batches)
+		}
+		total += st.Packets
+		if st.Packets > 0 {
+			nonEmpty++
+		}
+	}
+	if total != whole.Packets {
+		t.Fatalf("links carry %d packets, source had %d — splitter lost or duplicated traffic", total, whole.Packets)
+	}
+	if nonEmpty != 3 {
+		t.Fatalf("only %d of 3 links carry traffic", nonEmpty)
+	}
+}
+
+func TestSplitFlowsIsFlowConsistent(t *testing.T) {
+	g := NewGenerator(shortCfg(18))
+	links := SplitFlows(g, 4, 9)
+	seen := map[pkt.FlowKey]int{}
+	for li, l := range links {
+		for {
+			b, ok := l.NextBatch()
+			if !ok {
+				break
+			}
+			for i := range b.Pkts {
+				k := b.Pkts[i].FlowKey()
+				if prev, ok := seen[k]; ok && prev != li {
+					t.Fatalf("flow %v split across links %d and %d", k, prev, li)
+				}
+				seen[k] = li
+			}
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d flows observed, trace too small to trust", len(seen))
+	}
+}
+
+func TestSplitFlowsDeterministic(t *testing.T) {
+	a := SplitFlows(NewGenerator(shortCfg(19)), 2, 3)
+	b := SplitFlows(NewGenerator(shortCfg(19)), 2, 3)
+	for l := range a {
+		for {
+			ba, oka := a[l].NextBatch()
+			bb, okb := b[l].NextBatch()
+			if oka != okb {
+				t.Fatal("split lengths disagree")
+			}
+			if !oka {
+				break
+			}
+			if len(ba.Pkts) != len(bb.Pkts) {
+				t.Fatalf("link %d batch sizes differ", l)
+			}
+			for i := range ba.Pkts {
+				if ba.Pkts[i].Ts != bb.Pkts[i].Ts || ba.Pkts[i].SrcIP != bb.Pkts[i].SrcIP {
+					t.Fatalf("link %d packet %d differs between identical splits", l, i)
+				}
+			}
+		}
+	}
+	// A different seed must route flows differently.
+	c := SplitFlows(NewGenerator(shortCfg(19)), 2, 4)
+	a[0].Reset()
+	c[0].Reset()
+	ba, _ := a[0].NextBatch()
+	bc, _ := c[0].NextBatch()
+	if len(ba.Pkts) == len(bc.Pkts) {
+		same := true
+		for i := range ba.Pkts {
+			if ba.Pkts[i].SrcIP != bc.Pkts[i].SrcIP {
+				same = false
+				break
+			}
+		}
+		if same && len(ba.Pkts) > 0 {
+			t.Fatal("different splitter seeds routed identically")
+		}
+	}
+}
+
+func TestAsymmetricMixShape(t *testing.T) {
+	links := AsymmetricMix(1, 4*time.Second, 0.1, 3)
+	if len(links) != 3 {
+		t.Fatalf("got %d links", len(links))
+	}
+	if len(links[0].Config.Anomalies) == 0 {
+		t.Fatal("link 0 carries no attack")
+	}
+	for i := 1; i < 3; i++ {
+		if len(links[i].Config.Anomalies) != 0 {
+			t.Fatalf("calm link %d carries an anomaly", i)
+		}
+	}
+	// The hot link must actually dominate: compare measured packet load.
+	hot := Measure(NewGenerator(links[0].Config))
+	calm := Measure(NewGenerator(links[1].Config))
+	if hot.Packets <= calm.Packets {
+		t.Fatalf("hot link %d pkts not above calm link %d", hot.Packets, calm.Packets)
+	}
+}

@@ -187,6 +187,28 @@ var (
 	NewOnOffDDoS = trace.NewOnOffDDoS
 )
 
+// Multi-link helpers (see cluster.go for the Cluster itself).
+
+// LinkPreset pairs a link name with a traffic profile for cluster runs.
+type LinkPreset = trace.LinkPreset
+
+// AsymmetricMix returns n link profiles with all the overload on link 0
+// (a DDoS-swamped link among calm ones), the headline Cluster scenario.
+var AsymmetricMix = trace.AsymmetricMix
+
+// SplitFlows partitions src into n per-link sources by flow hash —
+// deterministic per seed and flow-consistent, like a flow-aware load
+// balancer feeding a bank of monitors. The trace is materialized, so
+// the returned sources are independent and safe for concurrent shards.
+func SplitFlows(src Source, n int, seed uint64) []Source {
+	parts := trace.SplitFlows(src, n, seed)
+	out := make([]Source, len(parts))
+	for i, p := range parts {
+		out[i] = p
+	}
+	return out
+}
+
 // Trace files.
 
 // ReadTrace loads a recorded trace; it replays byte-identically

@@ -1,0 +1,371 @@
+package loadshed
+
+// cluster.go shards the engine across links: a Cluster runs one System
+// per monitored link, all in lockstep, with a global budget coordinator
+// that redistributes the machine's total cycle capacity across shards
+// every bin. A local shedder can only react to overload on its own
+// link; the coordinator sees all links at once and steals budget from
+// idle ones to absorb a localized surge (e.g. a DDoS swamping a single
+// link), which is the rebalancing argument of "Grand Perspective: Load
+// Shedding in Distributed CEP Applications" transplanted to per-link
+// monitors.
+//
+// The coordinator reuses the Chapter 5 allocators (internal/sched)
+// with shards in place of queries: each shard presents an observed
+// cycle demand and an optional guaranteed share, and mmfs_cpu /
+// eq_srates / mmfs_pkt become cross-shard policies. A nil policy is
+// the isolated baseline: a static equal split, exactly N independent
+// shedders.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Shard describes one link's monitor inside a Cluster.
+type Shard struct {
+	// Name labels the shard in results ("link0", "uplink", ...).
+	Name string
+	// Source is the link's traffic. Each shard must own its source:
+	// shards step concurrently and Source implementations are not safe
+	// for shared use.
+	Source trace.Source
+	// Queries are the shard's fresh query instances.
+	Queries []queries.Query
+	// MinShare is the fraction of the shard's observed demand the
+	// coordinator must cover before surplus moves elsewhere — the
+	// cross-shard analogue of a query's minimum sampling rate m_q.
+	// Zero means no guarantee.
+	MinShare float64
+}
+
+// ClusterConfig parameterizes a multi-link run.
+type ClusterConfig struct {
+	// Base is the per-shard engine template. Capacity is ignored (the
+	// coordinator owns the budget); Seed is offset per shard so every
+	// link draws independent streams. Probe and Arrival.Make closures,
+	// if set, are invoked concurrently from shard runners (every shard
+	// reaches a given bin in the same round) and must not mutate shared
+	// state.
+	Base Config
+
+	// TotalCapacity is the machine's cycle budget per bin, shared by
+	// all shards. <= 0 means unlimited (no coordination possible).
+	TotalCapacity float64
+
+	// ShardPolicy splits TotalCapacity across shards each bin from
+	// their observed demands. nil selects the static equal split — no
+	// coordination, the isolated-shedders baseline.
+	ShardPolicy sched.Strategy
+
+	// Runners bounds the goroutines stepping shards within a bin.
+	// 0 selects runtime.GOMAXPROCS(0); 1 steps every shard inline.
+	// Results are bit-identical for any value: each shard owns all of
+	// its state and the coordinator runs at a barrier between bins,
+	// reading shards in index order.
+	Runners int
+
+	// DemandAlpha is the EWMA weight of the per-shard demand estimate
+	// the coordinator allocates from (default 0.5): high enough to
+	// chase a flash surge within a few bins, low enough that one noisy
+	// bin does not slosh the whole budget around.
+	DemandAlpha float64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.TotalCapacity <= 0 {
+		c.TotalCapacity = math.Inf(1)
+	}
+	if c.Runners <= 0 {
+		c.Runners = runtime.GOMAXPROCS(0)
+	}
+	if c.DemandAlpha == 0 {
+		c.DemandAlpha = 0.5
+	}
+	return c
+}
+
+// ShardRun is one shard's record in a ClusterResult.
+type ShardRun struct {
+	Name   string
+	Result *RunResult
+	// Capacities is the per-bin cycle budget the coordinator granted,
+	// index-aligned with Result.Bins.
+	Capacities []float64
+}
+
+// ClusterResult merges a cluster run: every shard's full record plus
+// the per-bin aggregate across shards.
+type ClusterResult struct {
+	Shards []ShardRun
+	// Aggregate sums the machine-level counters (packets, drops,
+	// cycles) across shards per bin; GlobalRate is the minimum across
+	// shards and BufferBins the maximum. Per-query slices are nil —
+	// they live in the shard records.
+	Aggregate []BinStats
+}
+
+// TotalDrops sums the uncontrolled capture drops across all shards.
+func (r *ClusterResult) TotalDrops() int {
+	n := 0
+	for i := range r.Shards {
+		n += r.Shards[i].Result.TotalDrops()
+	}
+	return n
+}
+
+// TotalWirePkts sums the packets offered across all shards.
+func (r *ClusterResult) TotalWirePkts() int {
+	n := 0
+	for i := range r.Shards {
+		n += r.Shards[i].Result.TotalWirePkts()
+	}
+	return n
+}
+
+// clusterShard is the runtime state of one shard.
+type clusterShard struct {
+	name     string
+	minShare float64
+	sys      *System
+	src      trace.Source
+	run      *runner
+	caps     []float64
+	demand   float64 // EWMA of observed full-rate demand, cycles/bin
+	seeded   bool
+	done     bool
+}
+
+// Cluster runs N per-link Systems under one budget coordinator.
+// Construct with NewCluster, call Run.
+type Cluster struct {
+	cfg    ClusterConfig
+	shards []*clusterShard
+}
+
+// NewCluster builds a cluster of fresh Systems, one per shard. Each
+// shard starts with an equal split of TotalCapacity and a seed offset
+// from Base.Seed by its index.
+func NewCluster(cfg ClusterConfig, shards []Shard) *Cluster {
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		panic("cluster: no shards")
+	}
+	c := &Cluster{cfg: cfg}
+	for i, sh := range shards {
+		scfg := cfg.Base
+		scfg.Capacity = cfg.TotalCapacity / float64(len(shards))
+		scfg.Seed = cfg.Base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		if cfg.Base.Workers == 0 {
+			// Shards already run concurrently; default each shard's
+			// query pool to inline execution instead of letting every
+			// shard claim all cores.
+			scfg.Workers = 1
+		}
+		name := sh.Name
+		if name == "" {
+			name = fmt.Sprintf("link%d", i)
+		}
+		c.shards = append(c.shards, &clusterShard{
+			name:     name,
+			minShare: sh.MinShare,
+			sys:      New(scfg, sh.Queries),
+			src:      sh.Source,
+		})
+	}
+	return c
+}
+
+// Shards exposes the per-shard Systems, mainly for tests.
+func (c *Cluster) Shards() []*System {
+	out := make([]*System, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.sys
+	}
+	return out
+}
+
+// Run steps every shard through its trace in lockstep, coordinating
+// the budget between bins, and returns the merged record. Shards whose
+// traces end early drop out; their budget is redistributed among the
+// survivors.
+func (c *Cluster) Run() *ClusterResult {
+	for _, sh := range c.shards {
+		sh.run = sh.sys.newRunner(sh.src)
+	}
+	for c.stepAll() {
+		c.coordinate()
+	}
+	res := &ClusterResult{}
+	for _, sh := range c.shards {
+		res.Shards = append(res.Shards, ShardRun{
+			Name:       sh.name,
+			Result:     sh.run.finish(),
+			Capacities: sh.caps,
+		})
+	}
+	res.Aggregate = aggregateBins(res.Shards)
+	return res
+}
+
+// stepAll advances every live shard by one bin, fanning the shards out
+// over the runner pool, and reports whether any shard is still running.
+// Determinism holds for any runner count for the same reasons as the
+// execute stage's pool: each shard's step touches only shard-owned
+// state, and everything cross-shard (coordination, aggregation) happens
+// at the barrier afterwards, in shard-index order.
+func (c *Cluster) stepAll() bool {
+	parallelIndexed(len(c.shards), c.cfg.Runners, func(i int) {
+		sh := c.shards[i]
+		if sh.done {
+			return
+		}
+		capacity := sh.sys.gov.Capacity()
+		if sh.run.step() {
+			sh.caps = append(sh.caps, capacity)
+		} else {
+			sh.done = true
+		}
+	})
+	for _, sh := range c.shards {
+		if !sh.done {
+			return true
+		}
+	}
+	return false
+}
+
+// coordinate redistributes TotalCapacity across the live shards from
+// their observed demands. It runs between bins on the cluster
+// goroutine, after the step barrier.
+func (c *Cluster) coordinate() {
+	if c.cfg.ShardPolicy == nil || math.IsInf(c.cfg.TotalCapacity, 1) {
+		return // static split: initial equal capacities stand
+	}
+	var active []*clusterShard
+	for _, sh := range c.shards {
+		if sh.done {
+			continue
+		}
+		sh.observeDemand(c.cfg.DemandAlpha)
+		active = append(active, sh)
+	}
+	if len(active) == 0 {
+		return
+	}
+	total := c.cfg.TotalCapacity
+	demands := make([]sched.Demand, len(active))
+	for i, sh := range active {
+		demands[i] = sched.Demand{Name: sh.name, Cycles: sh.demand, MinRate: sh.minShare}
+	}
+	allocs := c.cfg.ShardPolicy.Allocate(demands, total)
+	// Floor at 1% of an equal share: a shard the policy zeroed out
+	// (disabled largest-first under extreme pressure) must still drain
+	// its backlog accounting rather than divide by nothing. Floors are
+	// reserved before the surplus is spread, so the grants sum to
+	// TotalCapacity and under-loaded shards keep headroom for the next
+	// surge (the only overshoot, bounded by the floors themselves,
+	// happens when the floors alone exceed the machine).
+	floor := 0.01 * total / float64(len(active))
+	var used float64
+	for _, a := range allocs {
+		used += math.Max(a.Cycles, floor)
+	}
+	surplus := math.Max(0, total-used) / float64(len(active))
+	for i, sh := range active {
+		sh.sys.SetCapacity(math.Max(allocs[i].Cycles, floor) + surplus)
+	}
+}
+
+// observeDemand folds the shard's last bin into its demand EWMA. The
+// observation is the full-rate cost of the bin: unsheddable platform
+// and shedding overhead plus the predictor's full-rate estimate. Bins
+// without a prediction (the reactive and original schemes) fall back
+// to the measured query cycles rescaled by the applied global rate;
+// that rescaling is only meaningful there, where a single rate exists —
+// under a per-query strategy the minimum rate would grossly inflate
+// the estimate of queries that ran near full rate.
+func (sh *clusterShard) observeDemand(alpha float64) {
+	bins := sh.run.res.Bins
+	if len(bins) == 0 {
+		return
+	}
+	b := &bins[len(bins)-1]
+	queryCost := b.Predicted
+	if queryCost <= 0 {
+		rate := b.GlobalRate
+		if rate <= 0 {
+			rate = 1 // a fully-withheld bin carries no rescaling signal
+		}
+		queryCost = b.Used / math.Max(rate, 0.01)
+	}
+	obs := b.Overhead + b.Shed + queryCost
+	if !sh.seeded {
+		sh.demand = obs
+		sh.seeded = true
+		return
+	}
+	sh.demand = alpha*obs + (1-alpha)*sh.demand
+}
+
+// aggregateBins merges per-shard bin records into machine-level bins.
+func aggregateBins(shards []ShardRun) []BinStats {
+	maxBins := 0
+	for _, sh := range shards {
+		if n := len(sh.Result.Bins); n > maxBins {
+			maxBins = n
+		}
+	}
+	out := make([]BinStats, maxBins)
+	for i := range out {
+		agg := &out[i]
+		agg.GlobalRate = 1
+		first := true
+		for _, sh := range shards {
+			if i >= len(sh.Result.Bins) {
+				continue
+			}
+			b := &sh.Result.Bins[i]
+			if first {
+				agg.Start = b.Start
+				first = false
+			}
+			agg.WirePkts += b.WirePkts
+			agg.DropPkts += b.DropPkts
+			agg.AdmitPkts += b.AdmitPkts
+			agg.WireBytes += b.WireBytes
+			agg.Predicted += b.Predicted
+			agg.Alloc += b.Alloc
+			agg.Used += b.Used
+			agg.Overhead += b.Overhead
+			agg.Shed += b.Shed
+			agg.Avail += b.Avail
+			if b.GlobalRate < agg.GlobalRate {
+				agg.GlobalRate = b.GlobalRate
+			}
+			if b.BufferBins > agg.BufferBins {
+				agg.BufferBins = b.BufferBins
+			}
+		}
+	}
+	return out
+}
+
+// ShardPolicyByName maps the cross-shard coordinator policies exposed
+// on command lines — "static" (no coordination), or any StrategyByName
+// name ("mmfs_cpu", "mmfs_pkt", "eq_srates", "equal") — to a strategy.
+func ShardPolicyByName(name string) (sched.Strategy, error) {
+	if name == "static" {
+		return nil, nil
+	}
+	s, err := StrategyByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("loadshed: unknown shard policy %q", name)
+	}
+	return s, nil
+}

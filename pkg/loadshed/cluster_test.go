@@ -1,0 +1,194 @@
+package loadshed
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// testClusterShards builds a small asymmetric 3-link cluster: link 0
+// swamped by an on/off DDoS for the middle half of the run, the other
+// two calm.
+func testClusterShards(dur time.Duration) []Shard {
+	links := AsymmetricMix(3, dur, 0.05, 3)
+	shards := make([]Shard, len(links))
+	for i, l := range links {
+		shards[i] = Shard{
+			Name:   l.Name,
+			Source: trace.NewGenerator(l.Config),
+			Queries: []queries.Query{
+				queries.NewFlows(queries.Config{Seed: uint64(i)}),
+				queries.NewCounter(queries.Config{Seed: uint64(i)}),
+			},
+		}
+	}
+	return shards
+}
+
+// clusterCapacity sizes the machine for the headline scenario: the calm
+// links fit comfortably, the attacked link's full (attack-inclusive)
+// demand does not — only budget moved off the calm links can absorb it.
+func clusterCapacity(tb testing.TB, dur time.Duration) float64 {
+	tb.Helper()
+	var total float64
+	for i, sh := range testClusterShards(dur) {
+		c := MeasureCapacity(sh.Source, sh.Queries, 77)
+		if i == 0 {
+			c *= 0.6
+		}
+		total += c
+	}
+	return total
+}
+
+func runTestCluster(policy sched.Strategy, runners int, total float64, dur time.Duration) *ClusterResult {
+	return NewCluster(ClusterConfig{
+		Base:          Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 42},
+		TotalCapacity: total,
+		ShardPolicy:   policy,
+		Runners:       runners,
+	}, testClusterShards(dur)).Run()
+}
+
+// TestClusterDeterminism is the shard-runner contract: a cluster run is
+// bit-identical whether shards step on one goroutine or many, because
+// every shard owns all of its state and the coordinator runs at a
+// barrier between bins, reading shards in index order.
+func TestClusterDeterminism(t *testing.T) {
+	const dur = 5 * time.Second
+	total := clusterCapacity(t, dur)
+	seq := runTestCluster(MMFSCPU(), 1, total, dur)
+	for _, runners := range []int{2, 8} {
+		par := runTestCluster(MMFSCPU(), runners, total, dur)
+		if len(par.Shards) != len(seq.Shards) {
+			t.Fatalf("runners=%d: shard count diverged", runners)
+		}
+		for i := range seq.Shards {
+			if !reflect.DeepEqual(seq.Shards[i], par.Shards[i]) {
+				t.Fatalf("runners=%d: shard %s diverged from sequential run", runners, seq.Shards[i].Name)
+			}
+		}
+		if !reflect.DeepEqual(seq.Aggregate, par.Aggregate) {
+			t.Fatalf("runners=%d: aggregate bins diverged", runners)
+		}
+	}
+}
+
+// TestClusterStaticSplitMatchesIsolatedSystems: with a nil policy the
+// cluster is exactly N independent shedders — each shard's record must
+// be bit-identical to a standalone System run at 1/N of the budget.
+func TestClusterStaticSplitMatchesIsolatedSystems(t *testing.T) {
+	const dur = 4 * time.Second
+	total := clusterCapacity(t, dur)
+	res := runTestCluster(nil, 4, total, dur)
+	shards := testClusterShards(dur)
+	for i, sh := range shards {
+		solo := New(Config{
+			Scheme:   Predictive,
+			Strategy: MMFSPkt(),
+			Seed:     42 + uint64(i)*0x9e3779b97f4a7c15,
+			Capacity: total / float64(len(shards)),
+			Workers:  1,
+		}, sh.Queries).Run(sh.Source)
+		if !reflect.DeepEqual(res.Shards[i].Result, solo) {
+			t.Fatalf("shard %s under static split diverged from an isolated System", res.Shards[i].Name)
+		}
+	}
+}
+
+// TestClusterCoordinatorAbsorbsAsymmetricOverload is the headline
+// scenario: a DDoS swamps one link while the others idle. The
+// coordinator steals budget from the idle links, so aggregate accuracy
+// must beat the static equal split, and the attacked link must receive
+// more than its 1/N share during the attack.
+func TestClusterCoordinatorAbsorbsAsymmetricOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster accuracy comparison is slow")
+	}
+	const dur = 12 * time.Second
+	total := clusterCapacity(t, dur)
+	coord := runTestCluster(MMFSCPU(), 4, total, dur)
+	static := runTestCluster(nil, 4, total, dur)
+
+	aggErr := func(res *ClusterResult) float64 {
+		shards := testClusterShards(dur) // fresh sources and metric queries
+		var sum float64
+		n := 0
+		for i, sh := range res.Shards {
+			ref := Reference(shards[i].Source, shards[i].Queries, 77)
+			for _, e := range MeanErrors(shards[i].Queries, sh.Result, ref) {
+				sum += e
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	ce, se := aggErr(coord), aggErr(static)
+	t.Logf("aggregate mean error: coordinated %.4f, static %.4f", ce, se)
+	if ce >= se {
+		t.Fatalf("coordinated error %.4f not better than static split %.4f", ce, se)
+	}
+
+	// During the attack window the hot shard must hold more than its
+	// equal share of the machine.
+	hot := coord.Shards[0]
+	nBins := len(hot.Capacities)
+	var peak float64
+	for _, c := range hot.Capacities[nBins/4 : nBins*3/4] {
+		if c > peak {
+			peak = c
+		}
+	}
+	if equal := total / 3; peak <= equal {
+		t.Fatalf("coordinator never granted the attacked link more than its equal share (peak %.3g <= %.3g)", peak, equal)
+	}
+}
+
+// BenchmarkCluster prices the cluster loop itself: four pre-recorded
+// links stepped in lockstep, swept over runner counts. On one CPU the
+// series is flat (no pool overhead); otherwise it scales with cores.
+//
+//	go test -bench Cluster -benchtime 5x ./pkg/loadshed
+func BenchmarkCluster(b *testing.B) {
+	const dur = 3 * time.Second
+	links := AsymmetricMix(3, dur, 0.05, 4)
+	batches := make([]*trace.MemorySource, len(links))
+	var total float64
+	for i, l := range links {
+		g := trace.NewGenerator(l.Config)
+		batches[i] = trace.NewMemorySource(trace.Record(g), g.TimeBin())
+		total += MeasureCapacity(batches[i], []queries.Query{
+			queries.NewFlows(queries.Config{Seed: uint64(i)}),
+			queries.NewCounter(queries.Config{Seed: uint64(i)}),
+		}, 77)
+	}
+	total /= 2
+	for _, runners := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("runners=%d", runners), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				shards := make([]Shard, len(links))
+				for j := range links {
+					shards[j] = Shard{
+						Name:   links[j].Name,
+						Source: batches[j],
+						Queries: []queries.Query{
+							queries.NewFlows(queries.Config{Seed: uint64(j)}),
+							queries.NewCounter(queries.Config{Seed: uint64(j)}),
+						},
+					}
+				}
+				NewCluster(ClusterConfig{
+					Base:          Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 42},
+					TotalCapacity: total,
+					ShardPolicy:   MMFSCPU(),
+					Runners:       runners,
+				}, shards).Run()
+			}
+		})
+	}
+}

@@ -252,12 +252,6 @@ func New(cfg Config, qs []queries.Query) *System {
 	if len(qs) == 0 {
 		panic("system: no queries")
 	}
-	interval := qs[0].Interval()
-	for _, q := range qs {
-		if q.Interval() != interval {
-			panic(fmt.Sprintf("system: query %s interval %v differs from %v", q.Name(), q.Interval(), interval))
-		}
-	}
 	s := &System{
 		cfg:          cfg,
 		gov:          newGovernor(cfg),
@@ -265,7 +259,7 @@ func New(cfg Config, qs []queries.Query) *System {
 		shedExt:      features.NewExtractor(cfg.Seed + 0xfea7),
 		shedSamp:     sampling.NewPacketSampler(cfg.Seed + 0x5a3d),
 		noise:        hash.NewXorShift(cfg.Seed + 0x4015e),
-		interval:     interval,
+		interval:     qs[0].Interval(),
 		reactiveRate: 1,
 	}
 	if cfg.CustomShedding {
@@ -278,8 +272,13 @@ func New(cfg Config, qs []queries.Query) *System {
 }
 
 // addQuery wires a query into the running system (used at construction
-// and by mid-run arrivals).
+// and by mid-run arrivals). A query whose measurement interval differs
+// from the system's would silently misalign every flush, so the check
+// New applies to the initial set also guards mid-run Arrivals.
 func (s *System) addQuery(q queries.Query) {
+	if q.Interval() != s.interval {
+		panic(fmt.Sprintf("system: query %s interval %v differs from %v", q.Name(), q.Interval(), s.interval))
+	}
 	i := len(s.qs)
 	rq := &runQuery{
 		q:     q,
@@ -308,62 +307,102 @@ func (s *System) addQuery(q queries.Query) {
 
 func newGovernor(cfg Config) *core.Governor {
 	g := core.NewGovernor(cfg.Capacity)
-	if !math.IsInf(cfg.Capacity, 1) {
-		// Bound the discovered delay allowance by a fraction of the
-		// capture buffer: §4.1 resets rtthresh when buffer occupancy
-		// exceeds a predefined value, well before packets drop.
-		cap := math.Min(2*cfg.Capacity, 0.4*cfg.BufferBins*cfg.Capacity)
-		g.SetRTTCap(cap)
-	}
+	applyRTTCap(g, cfg.BufferBins, cfg.Capacity)
 	return g
+}
+
+// applyRTTCap bounds the discovered delay allowance by a fraction of
+// the capture buffer: §4.1 resets rtthresh when buffer occupancy
+// exceeds a predefined value, well before packets drop. Construction
+// and mid-run rebudgeting share it so the bound cannot drift.
+func applyRTTCap(g *core.Governor, bufferBins, capacity float64) {
+	if !math.IsInf(capacity, 1) {
+		g.SetRTTCap(math.Min(2*capacity, 0.4*bufferBins*capacity))
+	}
 }
 
 // Governor exposes the controller, mainly for tests and experiments.
 func (s *System) Governor() *core.Governor { return s.gov }
 
-// Run replays src through the system and returns the full record.
-func (s *System) Run(src trace.Source) *RunResult {
+// SetCapacity rebudgets the system mid-run: the Cluster coordinator
+// calls it every bin to move cycles between shards. Unlike touching the
+// governor directly it re-derives the buffer-bounded delay allowance,
+// so a shard whose budget shrinks cannot keep an rtthresh discovered
+// under a larger one and walk itself into the drop region.
+func (s *System) SetCapacity(c float64) {
+	s.gov.SetCapacity(c)
+	applyRTTCap(s.gov, s.cfg.BufferBins, c)
+}
+
+// runner drives a System through a trace one batch at a time. Run wraps
+// it for single-link use; the Cluster steps many runners in lockstep so
+// the budget coordinator can rebalance capacity between bins.
+type runner struct {
+	s               *System
+	src             trace.Source
+	res             *RunResult
+	binsPerInterval int
+	curInterval     int
+	bin             int
+}
+
+// newRunner resets the source and queries and opens the first
+// measurement interval.
+func (s *System) newRunner(src trace.Source) *runner {
 	src.Reset()
 	res := &RunResult{Scheme: s.cfg.Scheme}
 	for _, rq := range s.qs {
 		rq.q.Reset()
 		res.Queries = append(res.Queries, rq.q.Name())
 	}
-	binDur := src.TimeBin()
-	binsPerInterval := int(s.interval / binDur)
+	binsPerInterval := int(s.interval / src.TimeBin())
 	if binsPerInterval < 1 {
 		binsPerInterval = 1
 	}
-
-	curInterval := 0
 	s.startInterval()
+	return &runner{s: s, src: src, res: res, binsPerInterval: binsPerInterval}
+}
 
-	bin := 0
-	for {
-		b, ok := src.NextBatch()
-		if !ok {
-			break
-		}
-		for _, a := range s.cfg.Arrivals {
-			if a.AtBin == bin {
-				s.addQuery(a.Make())
-				res.Queries = append(res.Queries, s.qs[len(s.qs)-1].q.Name())
-			}
-		}
-		// Measurement interval boundary: flush results, rotate hashes.
-		if iv := bin / binsPerInterval; iv != curInterval {
-			res.Intervals = append(res.Intervals, s.flush(curInterval))
-			curInterval = iv
-			s.startInterval()
-		}
-		res.Bins = append(res.Bins, s.step(bin, &b))
-		if s.cfg.Probe != nil {
-			s.cfg.Probe(bin)
-		}
-		bin++
+// step processes the next batch — arrivals, interval boundary, the
+// six-stage pipeline — and reports false at end of trace.
+func (r *runner) step() bool {
+	b, ok := r.src.NextBatch()
+	if !ok {
+		return false
 	}
-	res.Intervals = append(res.Intervals, s.flush(curInterval))
-	return res
+	s := r.s
+	for _, a := range s.cfg.Arrivals {
+		if a.AtBin == r.bin {
+			s.addQuery(a.Make())
+			r.res.Queries = append(r.res.Queries, s.qs[len(s.qs)-1].q.Name())
+		}
+	}
+	// Measurement interval boundary: flush results, rotate hashes.
+	if iv := r.bin / r.binsPerInterval; iv != r.curInterval {
+		r.res.Intervals = append(r.res.Intervals, s.flush(r.curInterval))
+		r.curInterval = iv
+		s.startInterval()
+	}
+	r.res.Bins = append(r.res.Bins, s.step(r.bin, &b))
+	if s.cfg.Probe != nil {
+		s.cfg.Probe(r.bin)
+	}
+	r.bin++
+	return true
+}
+
+// finish flushes the last open interval and returns the full record.
+func (r *runner) finish() *RunResult {
+	r.res.Intervals = append(r.res.Intervals, r.s.flush(r.curInterval))
+	return r.res
+}
+
+// Run replays src through the system and returns the full record.
+func (s *System) Run(src trace.Source) *RunResult {
+	r := s.newRunner(src)
+	for r.step() {
+	}
+	return r.finish()
 }
 
 // CustomStates exposes the custom-shedding audit state (nil when custom
@@ -377,6 +416,11 @@ func (s *System) CustomStates() []*custom.State {
 
 func (s *System) startInterval() {
 	s.globalExt.StartInterval()
+	// The shared shed-stream extractor (§5.5.4) carries the same
+	// interval-grained bitmaps as every other extractor; without this
+	// rotation its stale interval state leaks across measurement
+	// intervals and corrupts the new-item counts of every sampled query.
+	s.shedExt.StartInterval()
 	for _, rq := range s.qs {
 		rq.ext.StartInterval()
 		rq.fsamp.StartInterval()

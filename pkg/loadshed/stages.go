@@ -18,6 +18,38 @@ import (
 // any history at all.
 const coldStartRate = 0.05
 
+// parallelIndexed runs fn(0) … fn(n-1) on a bounded pool of workers
+// goroutines (inline when the pool would be size 1), handing indices
+// out through an atomic counter, and returns once every call finished.
+// Both the execute stage's query pool and the Cluster's shard-runner
+// pool build on it; determinism is the caller's contract — fn(i) must
+// touch only index-owned state.
+func parallelIndexed(n, workers int, fn func(int)) {
+	w := min(workers, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // BinContext threads one batch's state through the pipeline stages. A
 // fresh context is built per bin by newBinContext; each stage reads the
 // fields of the stages before it and fills in its own. The final
@@ -264,29 +296,7 @@ func (s *System) execute(bc *BinContext) {
 		}
 	}
 
-	n := len(s.qs)
-	if w := min(s.cfg.Workers, n); w <= 1 {
-		for i := 0; i < n; i++ {
-			s.executeQuery(bc, i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(w)
-		for k := 0; k < w; k++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					s.executeQuery(bc, i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	parallelIndexed(len(s.qs), s.cfg.Workers, func(i int) { s.executeQuery(bc, i) })
 
 	// Deterministic merge: index order fixes the floating-point
 	// summation order regardless of which worker ran which query.
@@ -365,10 +375,14 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 	// packet/byte features are the query's own. A custom-shedding
 	// query whose batch was withheld (rate 0) processed nothing and
 	// contributes no observation — pairing full-batch features with
-	// its residual cost would poison the model.
+	// its residual cost would poison the model. The same holds for a
+	// ModeDisabled query: it saw an empty batch and cost only the
+	// per-batch residual, so observing it would fill the MLR history
+	// with (empty features, near-zero cost) pairs.
 	if s.cfg.Scheme == Predictive {
 		customMode := rq.shed != nil && rq.shed.Mode() == custom.ModeCustom
-		if !(customMode && rate <= 0) {
+		disabled := rq.shed != nil && rq.shed.Mode() == custom.ModeDisabled
+		if !(customMode && rate <= 0) && !disabled {
 			var qf features.Vector
 			if rate >= 1 || customMode {
 				// Stream identical to the full batch: merge, don't rescan.
