@@ -11,6 +11,15 @@
 // selected by -shard-policy ("static" disables coordination):
 //
 //	lsd -preset cesca2 -overload 2 -shards 4 -shard-policy mmfs_cpu
+//
+// With -stream the run uses the constant-memory streaming runtime: a
+// trace file is read from disk batch by batch (never fully loaded), a
+// generated source runs for -max-bins batches (-1 = forever), and
+// results go to a rolling aggregator that prints a report every -report
+// of trace time instead of accumulating every bin:
+//
+//	lsd -stream -preset cesca2 -max-bins -1 -overload 2    # run forever
+//	lsd -stream -trace big.bin -report 30s
 package main
 
 import (
@@ -38,11 +47,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "query execution worker pool size (0 = auto: all cores single-link, inline per shard with -shards)")
 		shards    = flag.Int("shards", 1, "split the trace across N links and run a Cluster")
 		shardPol  = flag.String("shard-policy", "mmfs_cpu", "cross-shard budget policy: static | equal | eq_srates | mmfs_cpu | mmfs_pkt")
+		stream    = flag.Bool("stream", false, "constant-memory streaming runtime: rolling report, no reference run")
+		maxBins   = flag.Int("max-bins", 0, "with -stream on a generated trace: run for N batches (-1 = forever, 0 = derive from -dur)")
+		report    = flag.Duration("report", 10*time.Second, "with -stream: trace time between rolling reports")
 	)
 	flag.Parse()
-
-	src, err := openSource(*traceFile, *preset, *seed, *dur, *scale)
-	die(err)
 
 	mkQs := func() []loadshed.Query {
 		if *full {
@@ -50,6 +59,17 @@ func main() {
 		}
 		return loadshed.StandardQueries(loadshed.QueryConfig{Seed: *seed})
 	}
+
+	if *stream {
+		if *shards > 1 {
+			die(fmt.Errorf("-stream does not support -shards: splitting by flow hash materializes the whole trace, which is what -stream exists to avoid (use the Cluster.Stream API with per-link sources instead)"))
+		}
+		runStream(mkQs, *traceFile, *preset, *seed, *dur, *scale, *maxBins, *report, *overload, *scheme, *strategy, *customOn, *workers)
+		return
+	}
+
+	src, err := openSource(*traceFile, *preset, *seed, *dur, *scale)
+	die(err)
 
 	if *shards > 1 {
 		runCluster(src, mkQs, *shards, *shardPol, *scheme, *strategy, *overload, *seed, *customOn, *workers)
@@ -106,6 +126,106 @@ func main() {
 	fmt.Printf("\nuncontrolled drops: %d of %d packets (%.3f%%)\n",
 		res.TotalDrops(), res.TotalWirePkts(),
 		100*float64(res.TotalDrops())/float64(res.TotalWirePkts()))
+}
+
+// runStream drives the constant-memory streaming runtime: the source is
+// read incrementally (a trace file is never fully loaded; a generated
+// source may be unbounded), and results flow into a rolling aggregator
+// that prints a report every reportEvery of trace time. No lossless
+// reference run is possible online, so the accuracy section is replaced
+// by the rolling unsampled-fraction proxy.
+func runStream(mkQs func() []loadshed.Query, traceFile, preset string, seed uint64, dur time.Duration, scale float64, maxBins int, reportEvery time.Duration, overload float64, scheme, strategy string, customOn bool, workers int) {
+	openStream := func(bins int) (loadshed.Source, func(), error) {
+		if traceFile != "" {
+			f, err := loadshed.OpenTraceFile(traceFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			return f, func() { f.Close() }, nil
+		}
+		cfg, err := loadshed.PresetConfig(preset, seed, dur, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.MaxBins = bins
+		return loadshed.NewGenerator(cfg), func() {}, nil
+	}
+
+	// The live stream may be unbounded, so capacity is sized on a
+	// bounded probe of the same traffic (-dur worth of it); the probe
+	// itself streams, so even a huge trace file is never resident.
+	fmt.Println("measuring full-rate demand (bounded probe) ...")
+	probe, closeProbe, err := openStream(0)
+	die(err)
+	ovh, demand := loadshed.MeasureLoad(probe, mkQs(), seed+1)
+	// NextBatch cannot surface read errors, so a truncated or corrupt
+	// file would otherwise yield a confident demand number measured
+	// over whatever prefix happened to parse.
+	if f, ok := probe.(*loadshed.TraceFile); ok {
+		die(f.Err())
+	}
+	closeProbe()
+	capacity := ovh + demand/overload
+	fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), capacity %.3g (overload %.2fx)\n",
+		demand, ovh, capacity, overload)
+
+	cfg := loadshed.Config{
+		Capacity:       capacity,
+		Seed:           seed + 2,
+		CustomShedding: customOn,
+		Workers:        workers,
+	}
+	cfg.Scheme, err = loadshed.ParseScheme(scheme)
+	die(err)
+	if cfg.Scheme == loadshed.Predictive {
+		cfg.Strategy, err = loadshed.StrategyByName(strategy)
+		die(err)
+	}
+
+	src, closeSrc, err := openStream(maxBins)
+	die(err)
+	defer closeSrc()
+
+	binsPerReport := int(reportEvery / src.TimeBin())
+	if binsPerReport < 1 {
+		binsPerReport = 1
+	}
+	roll := loadshed.NewRollingStats(binsPerReport)
+
+	fmt.Printf("streaming (%s scheme, report every %v) ...\n", scheme, reportEvery)
+	fmt.Printf("\n%-10s %-9s %-8s %-10s %-8s %-6s %-6s\n",
+		"trace-time", "pkts/s", "drop%", "unsampled%", "rate", "occ", "cpu%")
+	sys := loadshed.New(cfg, mkQs())
+	bins := 0
+	sys.Stream(src, loadshed.Tee(roll, loadshed.SinkFuncs{
+		Bin: func(b *loadshed.BinStats) {
+			// Snapshot scans the whole window; only pay for it on a
+			// reporting boundary, not every bin.
+			if bins++; bins%binsPerReport != 0 {
+				return
+			}
+			s := roll.Snapshot()
+			fmt.Printf("%-10v %-9.0f %-8.3f %-10.3f %-8.3f %-6.2f %-6.1f\n",
+				b.Start+src.TimeBin(), s.PktsPerBin/src.TimeBin().Seconds(),
+				100*s.DropFrac, 100*s.UnsampledFrac,
+				s.MeanGlobalRate, s.MeanDelay, 100*s.MeanUtil)
+		},
+	}))
+	if f, ok := src.(*loadshed.TraceFile); ok {
+		die(f.Err())
+	}
+
+	s := roll.Snapshot()
+	dropPct := 0.0
+	if s.WirePkts > 0 {
+		dropPct = 100 * float64(s.DropPkts) / float64(s.WirePkts)
+	}
+	fmt.Printf("\nstream ended after %d bins, %d intervals: %d of %d packets dropped uncontrolled (%.3f%%)\n",
+		s.Bins, s.Intervals, s.DropPkts, s.WirePkts, dropPct)
+	fmt.Printf("per-query mean sampling rate over the last %d bins:\n", s.WindowBins)
+	for i, q := range s.Queries {
+		fmt.Printf("  %-16s %6.3f\n", q, s.MeanRates[i])
+	}
 }
 
 // runCluster splits the trace across n links by flow hash and runs one

@@ -7,8 +7,8 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/pkg/loadshed"
 	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 // ch4DDoSSrc is the busy Chapter 4 scenario: CESCA-II plus a spoofed

@@ -7,8 +7,8 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sampling"
 	"repro/internal/stats"
-	"repro/pkg/loadshed"
 	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 func init() {

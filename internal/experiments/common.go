@@ -9,8 +9,8 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sampling"
 	"repro/internal/stats"
-	"repro/pkg/loadshed"
 	"repro/internal/trace"
+	"repro/pkg/loadshed"
 )
 
 // Trace builders for the dataset presets at experiment scale.

@@ -54,8 +54,10 @@ func NewPacketSampler(seed uint64) *PacketSampler {
 }
 
 // Sample returns the packets of b selected with probability rate. A
-// rate >= 1 returns the input slice unchanged; rate <= 0 selects
-// nothing.
+// rate >= 1 returns the input slice itself (no copy — shedding nothing
+// is free), so the result may alias the caller's batch; consistent with
+// the trace.Source ownership contract, treat both as read-only. A rate
+// <= 0 selects nothing.
 func (s *PacketSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate >= 1 {
 		return pkts
@@ -111,7 +113,8 @@ func (s *FlowSampler) Keep(p *pkt.Packet, rate float64) bool {
 }
 
 // Sample returns the packets of b whose flows are selected at the given
-// rate.
+// rate. Like PacketSampler.Sample, a rate >= 1 aliases the input slice;
+// treat both as read-only.
 func (s *FlowSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate >= 1 {
 		return pkts

@@ -160,6 +160,28 @@ func TestFlowSampleEdgeRates(t *testing.T) {
 	}
 }
 
+// TestSampleAliasesInputAtFullRate pins the ownership semantics the
+// trace.Source contract documents: at rate >= 1 both samplers return
+// the input slice itself (no copy), so callers must treat the result —
+// and the input — as read-only. If this ever changes to a copy, the
+// contract note on Sample and on trace.Source must change with it.
+func TestSampleAliasesInputAtFullRate(t *testing.T) {
+	in := genPackets(32)
+	ps := NewPacketSampler(1)
+	if got := ps.Sample(in, 1); len(got) != len(in) || &got[0] != &in[0] {
+		t.Fatal("PacketSampler.Sample(rate>=1) must return the input slice unchanged")
+	}
+	fs := NewFlowSampler(2)
+	if got := fs.Sample(in, 1.5); len(got) != len(in) || &got[0] != &in[0] {
+		t.Fatal("FlowSampler.Sample(rate>=1) must return the input slice unchanged")
+	}
+	// Below full rate the result must NOT alias the input's backing
+	// array, so a query mutating nothing can still re-slice freely.
+	if got := ps.Sample(in, 0.5); len(got) > 0 && &got[0] == &in[0] {
+		t.Fatal("sampled output aliases the input slice head")
+	}
+}
+
 func BenchmarkFlowSample(b *testing.B) {
 	fs := NewFlowSampler(1)
 	in := genPackets(2500)

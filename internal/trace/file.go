@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/pkt"
@@ -21,6 +22,9 @@ import (
 //	  packets: ts int64, srcIP u32, dstIP u32, srcPort u16, dstPort u16,
 //	           proto u8, flags u8, size u32, payloadLen u16, payload
 //
+// payloadLen never exceeds pkt.SnapLen: captures are snaplen-limited,
+// and both writer and readers enforce the bound.
+//
 // The format exists so generated workloads can be stored once and
 // replayed byte-identically across schemes and machines, mirroring the
 // thesis' use of packet traces "for the sake of reproducibility" (§2.3.2).
@@ -29,6 +33,26 @@ var fileMagic = [8]byte{'L', 'S', 'T', 'R', 'A', 'C', 'E', '1'}
 
 // ErrBadMagic is returned when reading a file that is not a trace file.
 var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// ErrCorrupt is returned (wrapped, with detail) when a trace file's
+// structure is implausible — e.g. a batch header claiming more packets
+// than any real capture holds. Distinguishing it from ErrUnexpectedEOF
+// matters operationally: a truncated file can be re-transferred, a
+// corrupt one must be regenerated.
+var ErrCorrupt = errors.New("trace: corrupt trace file")
+
+// maxBatchPackets bounds the per-batch packet count a reader accepts.
+// A batch is one 100 ms bin; 2^26 packets is ~670 Mpps sustained, far
+// beyond any link this system models. The bound exists so a corrupt or
+// malicious count field cannot demand a multi-GB allocation before the
+// first packet read fails.
+const maxBatchPackets = 1 << 26
+
+// allocChunkPackets caps the packet-slice capacity allocated up front
+// from an unvalidated count: the reader allocates at most this many
+// packets before bytes proving the batch exists have been consumed, so
+// a truncated file fails with a small allocation, not count×40 bytes.
+const allocChunkPackets = 1 << 16
 
 // WriteAll drains src and writes every batch to w, then resets src.
 func WriteAll(w io.Writer, src Source) error {
@@ -74,8 +98,8 @@ func writeBatch(w io.Writer, b *pkt.Batch) error {
 		if _, err := w.Write(hdr[:]); err != nil {
 			return err
 		}
-		if len(p.Payload) > 0xffff {
-			return fmt.Errorf("trace: payload too large (%d bytes)", len(p.Payload))
+		if len(p.Payload) > pkt.SnapLen {
+			return fmt.Errorf("trace: payload exceeds snaplen (%d > %d bytes)", len(p.Payload), pkt.SnapLen)
 		}
 		var plen [2]byte
 		binary.LittleEndian.PutUint16(plen[:], uint16(len(p.Payload)))
@@ -126,13 +150,17 @@ func readBatch(r io.Reader, bin time.Duration) (pkt.Batch, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return pkt.Batch{}, unexpected(err)
 	}
-	b := pkt.Batch{Start: time.Duration(startNs), Bin: bin, Pkts: make([]pkt.Packet, n)}
+	if n > maxBatchPackets {
+		return pkt.Batch{}, fmt.Errorf("%w: batch claims %d packets (max %d)", ErrCorrupt, n, maxBatchPackets)
+	}
+	b := pkt.Batch{Start: time.Duration(startNs), Bin: bin}
+	b.Pkts = make([]pkt.Packet, 0, min(int(n), allocChunkPackets))
 	var hdr [26]byte
-	for i := range b.Pkts {
+	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return pkt.Batch{}, unexpected(err)
 		}
-		p := &b.Pkts[i]
+		var p pkt.Packet
 		p.Ts = int64(binary.LittleEndian.Uint64(hdr[0:8]))
 		p.SrcIP = binary.LittleEndian.Uint32(hdr[8:12])
 		p.DstIP = binary.LittleEndian.Uint32(hdr[12:16])
@@ -146,11 +174,15 @@ func readBatch(r io.Reader, bin time.Duration) (pkt.Batch, error) {
 			return pkt.Batch{}, unexpected(err)
 		}
 		if l := binary.LittleEndian.Uint16(plen[:]); l > 0 {
+			if l > pkt.SnapLen {
+				return pkt.Batch{}, fmt.Errorf("%w: payload length %d exceeds snaplen %d", ErrCorrupt, l, pkt.SnapLen)
+			}
 			p.Payload = make([]byte, l)
 			if _, err := io.ReadFull(r, p.Payload); err != nil {
 				return pkt.Batch{}, unexpected(err)
 			}
 		}
+		b.Pkts = append(b.Pkts, p)
 	}
 	return b, nil
 }
@@ -162,4 +194,112 @@ func unexpected(err error) error {
 		return io.ErrUnexpectedEOF
 	}
 	return err
+}
+
+// FileSource streams a trace file one batch at a time: only the batch
+// being delivered is resident, so a file of any size replays in memory
+// bounded by its largest batch — the on-disk counterpart of an online
+// capture. ReadAll remains the right choice for small traces that are
+// replayed many times (references, experiments); FileSource is the
+// right choice for long-running Stream deployments.
+//
+// A FileSource is deterministic like every Source: Reset seeks back to
+// the first batch, so repeated replays deliver identical packets.
+// It is not safe for concurrent use; cluster shards must each open
+// their own.
+type FileSource struct {
+	r       io.ReadSeeker
+	br      *bufio.Reader
+	bin     time.Duration
+	dataOff int64
+	err     error
+	closer  io.Closer
+}
+
+// headerSize is the byte offset of the first batch: magic + binNs.
+const headerSize = int64(len(fileMagic)) + 8
+
+// NewFileSource validates the header of r and returns a streaming
+// source positioned at the first batch.
+func NewFileSource(r io.ReadSeeker) (*FileSource, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, unexpected(err)
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	var binNs int64
+	if err := binary.Read(br, binary.LittleEndian, &binNs); err != nil {
+		return nil, unexpected(err)
+	}
+	if binNs <= 0 {
+		return nil, fmt.Errorf("%w: non-positive time bin %d ns", ErrCorrupt, binNs)
+	}
+	return &FileSource{r: r, br: br, bin: time.Duration(binNs), dataOff: headerSize}, nil
+}
+
+// OpenFile opens path as a streaming trace source; Close releases the
+// file handle.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := NewFileSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.closer = f
+	return fs, nil
+}
+
+// NextBatch implements Source. At end of file it reports ok=false; a
+// read or format error also ends the stream and is retained for Err.
+// The returned batch is freshly allocated and owned by the caller.
+func (f *FileSource) NextBatch() (pkt.Batch, bool) {
+	if f.err != nil {
+		return pkt.Batch{}, false
+	}
+	b, err := readBatch(f.br, f.bin)
+	if err == io.EOF {
+		return pkt.Batch{}, false
+	}
+	if err != nil {
+		f.err = err
+		return pkt.Batch{}, false
+	}
+	return b, true
+}
+
+// Reset implements Source: it seeks back to the first batch. A sticky
+// read error is cleared (the stream is restarted from scratch); a seek
+// failure is retained and leaves the source ended.
+func (f *FileSource) Reset() {
+	if _, err := f.r.Seek(f.dataOff, io.SeekStart); err != nil {
+		f.err = err
+		return
+	}
+	f.br.Reset(f.r)
+	f.err = nil
+}
+
+// TimeBin implements Source.
+func (f *FileSource) TimeBin() time.Duration { return f.bin }
+
+// Err returns the first read, format or seek error that ended the
+// stream, or nil after a clean end of file. Because the Source
+// interface's NextBatch cannot report errors, callers that accept
+// untrusted files should check Err when the stream ends.
+func (f *FileSource) Err() error { return f.err }
+
+// Close releases the underlying file when the source was opened with
+// OpenFile; otherwise it is a no-op.
+func (f *FileSource) Close() error {
+	if f.closer == nil {
+		return nil
+	}
+	return f.closer.Close()
 }

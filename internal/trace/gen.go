@@ -18,6 +18,13 @@ type Config struct {
 	Duration time.Duration // total trace length (virtual time)
 	TimeBin  time.Duration // batch duration; DefaultTimeBin if zero
 
+	// MaxBins overrides the batch count derived from Duration: > 0
+	// produces exactly MaxBins batches, < 0 streams forever (the
+	// unbounded source for long-running Stream deployments — pair it
+	// with a bounded sink, never with Run or Record), 0 defers to
+	// Duration. Traffic shape (diurnal swing, bursts) is unaffected.
+	MaxBins int
+
 	// Load.
 	PacketsPerSec    float64       // long-term average packet rate
 	DiurnalAmplitude float64       // relative amplitude of the slow sinusoidal load swing [0,1)
@@ -234,7 +241,14 @@ func (g *Generator) Reset() {
 	g.active = g.active[:0]
 	heap.Init(&g.active)
 	g.bin = 0
-	g.nbins = int(g.cfg.Duration / g.cfg.TimeBin)
+	switch {
+	case g.cfg.MaxBins > 0:
+		g.nbins = g.cfg.MaxBins
+	case g.cfg.MaxBins < 0:
+		g.nbins = -1 // unbounded
+	default:
+		g.nbins = int(g.cfg.Duration / g.cfg.TimeBin)
+	}
 	g.burstLeft = 0
 	g.burstfactor = 1
 	g.warmup()
@@ -264,7 +278,7 @@ func (g *Generator) warmup() {
 
 // NextBatch implements Source.
 func (g *Generator) NextBatch() (pkt.Batch, bool) {
-	if g.bin >= g.nbins {
+	if g.nbins >= 0 && g.bin >= g.nbins {
 		return pkt.Batch{}, false
 	}
 	t0 := time.Duration(g.bin) * g.cfg.TimeBin

@@ -28,7 +28,17 @@ const DefaultTimeBin = 100 * time.Millisecond
 // are obtained.
 type Source interface {
 	// NextBatch returns the next batch, or ok=false at end of trace.
-	// The returned batch and its packet slice are owned by the caller.
+	//
+	// Ownership: the returned packet slice MAY alias storage the source
+	// retains and replays (MemorySource does; samplers likewise return
+	// the input slice unchanged at rate >= 1). Consumers must therefore
+	// treat the batch as read-only — no mutating packets in place, no
+	// appending to the slice — and copy if they need either. Everything
+	// downstream of the engine honours this: the pipeline only ever
+	// re-slices and reads. In exchange, implementations must not touch
+	// a delivered batch's packets afterwards either (delivering a fresh
+	// or immutable slice each call), so the caller may keep it across
+	// NextBatch calls without copying.
 	NextBatch() (b pkt.Batch, ok bool)
 	// Reset rewinds the source to the beginning of the trace.
 	Reset()
@@ -49,8 +59,10 @@ func NewMemorySource(batches []pkt.Batch, bin time.Duration) *MemorySource {
 	return &MemorySource{Batches: batches, Bin: bin}
 }
 
-// NextBatch implements Source. The returned batch shares the stored
-// packet slice; callers that mutate packets should copy first.
+// NextBatch implements Source. The returned batch aliases the stored
+// packet slice (replays would otherwise have to copy the whole trace
+// every run); per the Source contract the caller must treat it as
+// read-only.
 func (m *MemorySource) NextBatch() (pkt.Batch, bool) {
 	if m.next >= len(m.Batches) {
 		return pkt.Batch{}, false

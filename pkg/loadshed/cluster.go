@@ -190,22 +190,49 @@ func (c *Cluster) Shards() []*System {
 	return out
 }
 
-// Run steps every shard through its trace in lockstep, coordinating
-// the budget between bins, and returns the merged record. Shards whose
-// traces end early drop out; their budget is redistributed among the
-// survivors.
-func (c *Cluster) Run() *ClusterResult {
-	for _, sh := range c.shards {
-		sh.run = sh.sys.newRunner(sh.src)
+// Stream steps every shard through its trace in lockstep, coordinating
+// the budget between bins and delivering each shard's records to the
+// sink mk returns for it (mk itself is called once per shard, in index
+// order, before the first bin; a nil mk or nil sink discards). Shards
+// whose traces end early drop out; their budget is redistributed among
+// the survivors. Like System.Stream it accumulates nothing, so a
+// cluster with bounded sinks runs indefinitely in constant memory.
+//
+// Within a bin, sinks are invoked from the shard-runner pool: each
+// shard's sink only ever sees that shard's stream (in order), but
+// different shards' sinks run concurrently — a sink instance shared
+// between shards must be safe for concurrent use.
+func (c *Cluster) Stream(mk func(shard int, name string) Sink) {
+	for i, sh := range c.shards {
+		var sink Sink
+		if mk != nil {
+			sink = mk(i, sh.name)
+		}
+		sh.run = sh.sys.newRunner(sh.src, sink)
 	}
 	for c.stepAll() {
 		c.coordinate()
 	}
-	res := &ClusterResult{}
 	for _, sh := range c.shards {
+		sh.run.finish()
+	}
+}
+
+// Run steps every shard through its trace in lockstep, coordinating the
+// budget between bins, and returns the merged record. It is Stream into
+// slices; long-running deployments should call Stream with bounded
+// sinks instead.
+func (c *Cluster) Run() *ClusterResult {
+	sinks := make([]*resultSink, len(c.shards))
+	c.Stream(func(i int, _ string) Sink {
+		sinks[i] = newResultSink(c.shards[i].sys.cfg.Scheme)
+		return sinks[i]
+	})
+	res := &ClusterResult{}
+	for i, sh := range c.shards {
 		res.Shards = append(res.Shards, ShardRun{
 			Name:       sh.name,
-			Result:     sh.run.finish(),
+			Result:     sinks[i].res,
 			Capacities: sh.caps,
 		})
 	}
@@ -291,11 +318,10 @@ func (c *Cluster) coordinate() {
 // under a per-query strategy the minimum rate would grossly inflate
 // the estimate of queries that ran near full rate.
 func (sh *clusterShard) observeDemand(alpha float64) {
-	bins := sh.run.res.Bins
-	if len(bins) == 0 {
+	if sh.run.bin == 0 {
 		return
 	}
-	b := &bins[len(bins)-1]
+	b := &sh.run.lastBin
 	queryCost := b.Predicted
 	if queryCost <= 0 {
 		rate := b.GlobalRate
@@ -335,6 +361,7 @@ func aggregateBins(shards []ShardRun) []BinStats {
 				agg.Start = b.Start
 				first = false
 			}
+			agg.Capacity += b.Capacity
 			agg.WirePkts += b.WirePkts
 			agg.DropPkts += b.DropPkts
 			agg.AdmitPkts += b.AdmitPkts

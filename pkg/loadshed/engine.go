@@ -174,6 +174,10 @@ func (c Config) withDefaults() Config {
 type BinStats struct {
 	Start time.Duration
 
+	// Capacity is the cycle budget the bin ran under (+Inf when
+	// unlimited). Under a Cluster coordinator it varies bin to bin.
+	Capacity float64
+
 	WirePkts  int // packets on the wire this bin
 	DropPkts  int // uncontrolled capture-buffer ("DAG") drops
 	AdmitPkts int // packets entering the system
@@ -334,33 +338,40 @@ func (s *System) SetCapacity(c float64) {
 	applyRTTCap(s.gov, s.cfg.BufferBins, c)
 }
 
-// runner drives a System through a trace one batch at a time. Run wraps
-// it for single-link use; the Cluster steps many runners in lockstep so
-// the budget coordinator can rebalance capacity between bins.
+// runner drives a System through a trace one batch at a time, delivering
+// every record to a Sink. Stream wraps it for single-link use; the
+// Cluster steps many runners in lockstep so the budget coordinator can
+// rebalance capacity between bins. The runner itself retains only the
+// last bin's record, so memory stays constant for any trace length —
+// accumulation, if wanted, is the sink's choice.
 type runner struct {
 	s               *System
 	src             trace.Source
-	res             *RunResult
+	sink            Sink
 	binsPerInterval int
 	curInterval     int
 	bin             int
+	lastBin         BinStats // most recent bin, read by the cluster coordinator
 }
 
-// newRunner resets the source and queries and opens the first
-// measurement interval.
-func (s *System) newRunner(src trace.Source) *runner {
+// newRunner resets the source and queries, announces the initial query
+// set to the sink and opens the first measurement interval. A nil sink
+// discards.
+func (s *System) newRunner(src trace.Source, sink Sink) *runner {
 	src.Reset()
-	res := &RunResult{Scheme: s.cfg.Scheme}
-	for _, rq := range s.qs {
+	if sink == nil {
+		sink = DiscardSink{}
+	}
+	for i, rq := range s.qs {
 		rq.q.Reset()
-		res.Queries = append(res.Queries, rq.q.Name())
+		sink.OnQuery(i, rq.q.Name())
 	}
 	binsPerInterval := int(s.interval / src.TimeBin())
 	if binsPerInterval < 1 {
 		binsPerInterval = 1
 	}
 	s.startInterval()
-	return &runner{s: s, src: src, res: res, binsPerInterval: binsPerInterval}
+	return &runner{s: s, src: src, sink: sink, binsPerInterval: binsPerInterval}
 }
 
 // step processes the next batch — arrivals, interval boundary, the
@@ -371,19 +382,25 @@ func (r *runner) step() bool {
 		return false
 	}
 	s := r.s
-	for _, a := range s.cfg.Arrivals {
-		if a.AtBin == r.bin {
-			s.addQuery(a.Make())
-			r.res.Queries = append(r.res.Queries, s.qs[len(s.qs)-1].q.Name())
-		}
-	}
-	// Measurement interval boundary: flush results, rotate hashes.
+	// Measurement interval boundary: flush results, rotate hashes. This
+	// must happen before mid-run arrivals join — a query arriving exactly
+	// at a boundary bin belongs to the interval that starts with its
+	// first bin, not to the closing one (where it would be flushed with a
+	// spurious empty report it never saw traffic for).
 	if iv := r.bin / r.binsPerInterval; iv != r.curInterval {
-		r.res.Intervals = append(r.res.Intervals, s.flush(r.curInterval))
+		ivr := s.flush(r.curInterval)
+		r.sink.OnInterval(&ivr)
 		r.curInterval = iv
 		s.startInterval()
 	}
-	r.res.Bins = append(r.res.Bins, s.step(r.bin, &b))
+	for _, a := range s.cfg.Arrivals {
+		if a.AtBin == r.bin {
+			s.addQuery(a.Make())
+			r.sink.OnQuery(len(s.qs)-1, s.qs[len(s.qs)-1].q.Name())
+		}
+	}
+	r.lastBin = s.step(r.bin, &b)
+	r.sink.OnBin(&r.lastBin)
 	if s.cfg.Probe != nil {
 		s.cfg.Probe(r.bin)
 	}
@@ -391,18 +408,32 @@ func (r *runner) step() bool {
 	return true
 }
 
-// finish flushes the last open interval and returns the full record.
-func (r *runner) finish() *RunResult {
-	r.res.Intervals = append(r.res.Intervals, r.s.flush(r.curInterval))
-	return r.res
+// finish flushes the last open interval into the sink.
+func (r *runner) finish() {
+	ivr := r.s.flush(r.curInterval)
+	r.sink.OnInterval(&ivr)
 }
 
-// Run replays src through the system and returns the full record.
-func (s *System) Run(src trace.Source) *RunResult {
-	r := s.newRunner(src)
+// Stream replays src through the system, delivering every BinStats and
+// IntervalResults to sink as it is produced. Unlike Run it accumulates
+// nothing: with a bounded sink (RollingStats, DiscardSink) a System
+// runs indefinitely — an unbounded source included — in constant
+// memory. A nil sink discards all records.
+func (s *System) Stream(src trace.Source, sink Sink) {
+	r := s.newRunner(src, sink)
 	for r.step() {
 	}
-	return r.finish()
+	r.finish()
+}
+
+// Run replays src through the system and returns the full record. It is
+// Stream into slices: every bin and interval is retained, which is what
+// the accuracy comparisons of the experiments need, and what a
+// long-running deployment must avoid (use Stream there).
+func (s *System) Run(src trace.Source) *RunResult {
+	rs := newResultSink(s.cfg.Scheme)
+	s.Stream(src, rs)
+	return rs.res
 }
 
 // CustomStates exposes the custom-shedding audit state (nil when custom

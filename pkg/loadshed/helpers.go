@@ -128,16 +128,19 @@ func MeasureLoad(src trace.Source, qs []queries.Query, seed uint64) (overhead, d
 		Seed:       seed,
 		NoiseSigma: -1,
 	}, qs)
-	res := sys.Run(src)
-	if len(res.Bins) == 0 {
+	// The probe only needs two running sums, so it streams instead of
+	// accumulating a RunResult: measuring a multi-hour trace costs the
+	// same memory as measuring a ten-second one.
+	var n int
+	sys.Stream(src, SinkFuncs{Bin: func(b *BinStats) {
+		overhead += b.Overhead
+		demand += b.Used
+		n++
+	}})
+	if n == 0 {
 		return 0, 0
 	}
-	for i := range res.Bins {
-		overhead += res.Bins[i].Overhead
-		demand += res.Bins[i].Used
-	}
-	n := float64(len(res.Bins))
-	return overhead / n, demand / n
+	return overhead / float64(n), demand / float64(n)
 }
 
 // MeasureCapacity returns the thesis' C: the minimum per-bin capacity

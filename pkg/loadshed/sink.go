@@ -1,0 +1,281 @@
+package loadshed
+
+// sink.go is the streaming result path: a Sink observes a run's records
+// as they are produced instead of accumulating them in a RunResult. The
+// thesis system is an online monitor that runs for days against live
+// links (§2.1); with a sink that discards or aggregates, a System or
+// Cluster runs indefinitely in constant memory. System.Run is a thin
+// wrapper that streams into slices, so both paths share one run loop.
+
+import (
+	"math"
+)
+
+// Sink receives a run's records as they are produced. System.Stream and
+// Cluster.Stream call it from the run loop:
+//
+//   - OnQuery fires when a query joins the stream — every initial query
+//     before the first bin, then each mid-run Arrival. index is the
+//     query's slot in the per-query slices of BinStats and
+//     IntervalResults.
+//   - OnBin fires after every processed time bin.
+//   - OnInterval fires at every measurement-interval flush, including
+//     the final partial interval at end of trace.
+//
+// The pointed-to records are owned by the sink during the call; a sink
+// may retain them (nothing else references them afterwards). Within one
+// stream, calls are sequential and ordered, but a Cluster delivers each
+// shard's stream from the shard-runner pool, so a sink shared between
+// shards must be safe for concurrent use (per-shard sinks need not be).
+type Sink interface {
+	OnQuery(index int, name string)
+	OnBin(b *BinStats)
+	OnInterval(iv *IntervalResults)
+}
+
+// DiscardSink drops every record: Stream with a DiscardSink runs the
+// engine purely for its side effects (probes, custom-shedding audits).
+type DiscardSink struct{}
+
+func (DiscardSink) OnQuery(int, string)         {}
+func (DiscardSink) OnBin(*BinStats)             {}
+func (DiscardSink) OnInterval(*IntervalResults) {}
+
+// SinkFuncs adapts bare functions to a Sink; nil fields are skipped.
+type SinkFuncs struct {
+	Query    func(index int, name string)
+	Bin      func(b *BinStats)
+	Interval func(iv *IntervalResults)
+}
+
+// OnQuery implements Sink.
+func (s SinkFuncs) OnQuery(index int, name string) {
+	if s.Query != nil {
+		s.Query(index, name)
+	}
+}
+
+// OnBin implements Sink.
+func (s SinkFuncs) OnBin(b *BinStats) {
+	if s.Bin != nil {
+		s.Bin(b)
+	}
+}
+
+// OnInterval implements Sink.
+func (s SinkFuncs) OnInterval(iv *IntervalResults) {
+	if s.Interval != nil {
+		s.Interval(iv)
+	}
+}
+
+// Tee returns a Sink that forwards every record to each sink in order.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) OnQuery(i int, name string) {
+	for _, s := range t {
+		s.OnQuery(i, name)
+	}
+}
+
+func (t teeSink) OnBin(b *BinStats) {
+	for _, s := range t {
+		s.OnBin(b)
+	}
+}
+
+func (t teeSink) OnInterval(iv *IntervalResults) {
+	for _, s := range t {
+		s.OnInterval(iv)
+	}
+}
+
+// resultSink accumulates the full record — the legacy Run path.
+type resultSink struct{ res *RunResult }
+
+func newResultSink(scheme Scheme) *resultSink {
+	return &resultSink{res: &RunResult{Scheme: scheme}}
+}
+
+func (rs *resultSink) OnQuery(_ int, name string) {
+	rs.res.Queries = append(rs.res.Queries, name)
+}
+func (rs *resultSink) OnBin(b *BinStats) { rs.res.Bins = append(rs.res.Bins, *b) }
+func (rs *resultSink) OnInterval(iv *IntervalResults) {
+	rs.res.Intervals = append(rs.res.Intervals, *iv)
+}
+
+// rollingBin is one bin's footprint inside the RollingStats window.
+type rollingBin struct {
+	wire, drop, admit      int
+	used, overhead, shed   float64
+	capacity               float64
+	globalRate, bufferBins float64
+	rates                  []float64 // per query; reused in place across evictions
+}
+
+// RollingStats is a Sink that maintains windowed summaries of a stream
+// in memory bounded by the window size, no matter how long the run: the
+// constant-memory replacement for RunResult.Bins on long-running
+// deployments. Construct with NewRollingStats; read with Snapshot.
+type RollingStats struct {
+	window int
+
+	queries []string
+
+	ring   []rollingBin
+	head   int // next ring slot to overwrite
+	filled int
+
+	bins, intervals               int
+	wirePkts, dropPkts, admitPkts int64
+	exportCycles                  float64
+}
+
+// NewRollingStats returns a rolling aggregator over the last window
+// bins (at the thesis' 100 ms bins, 600 covers a minute). window <= 0
+// selects 600.
+func NewRollingStats(window int) *RollingStats {
+	if window <= 0 {
+		window = 600
+	}
+	return &RollingStats{window: window, ring: make([]rollingBin, window)}
+}
+
+// OnQuery implements Sink.
+func (r *RollingStats) OnQuery(_ int, name string) {
+	r.queries = append(r.queries, name)
+}
+
+// OnBin implements Sink. It copies the scalars and per-query rates it
+// aggregates into the ring and retains nothing else from the record.
+func (r *RollingStats) OnBin(b *BinStats) {
+	slot := &r.ring[r.head]
+	slot.wire, slot.drop, slot.admit = b.WirePkts, b.DropPkts, b.AdmitPkts
+	slot.used, slot.overhead, slot.shed = b.Used, b.Overhead, b.Shed
+	slot.capacity = b.Capacity
+	slot.globalRate, slot.bufferBins = b.GlobalRate, b.BufferBins
+	slot.rates = append(slot.rates[:0], b.Rates...)
+	r.head = (r.head + 1) % r.window
+	if r.filled < r.window {
+		r.filled++
+	}
+	r.bins++
+	r.wirePkts += int64(b.WirePkts)
+	r.dropPkts += int64(b.DropPkts)
+	r.admitPkts += int64(b.AdmitPkts)
+}
+
+// OnInterval implements Sink. Interval results themselves are the
+// queries' business (they already summarize an interval); the rolling
+// view only counts them and the export cost.
+func (r *RollingStats) OnInterval(iv *IntervalResults) {
+	r.intervals++
+	r.exportCycles += iv.ExportCycles
+}
+
+// RollingSnapshot is a point-in-time summary of a stream: lifetime
+// totals plus means over the last WindowBins bins.
+type RollingSnapshot struct {
+	// Lifetime counters.
+	Bins                          int
+	Intervals                     int
+	Queries                       []string
+	WirePkts, DropPkts, AdmitPkts int64
+	ExportCycles                  float64
+
+	// WindowBins is how many bins the windowed fields cover — the
+	// configured window, or fewer early in a run.
+	WindowBins int
+
+	// Windowed traffic and loss.
+	PktsPerBin float64 // offered load
+	DropFrac   float64 // uncontrolled capture drops / offered
+	// UnsampledFrac is the fraction of admitted packets not processed
+	// at the applied global rate — the online proxy for accuracy error
+	// (the true error of §2.2.1 needs a lossless reference run, which
+	// an indefinite stream does not have).
+	UnsampledFrac float64
+
+	// Windowed controller state.
+	MeanGlobalRate                   float64
+	MeanRates                        []float64 // per query, averaged over the bins it existed
+	MeanDelay                        float64   // capture-buffer occupancy, in bins
+	MaxDelay                         float64
+	MeanUsed, MeanOverhead, MeanShed float64 // cycles/bin
+	// MeanUtil is (used+overhead+shed)/capacity averaged over the
+	// finite-capacity bins of the window; 0 when capacity is unlimited.
+	MeanUtil float64
+}
+
+// Snapshot summarizes the stream so far. It scans the window (not the
+// history), so it is cheap enough to call every reporting tick.
+func (r *RollingStats) Snapshot() RollingSnapshot {
+	s := RollingSnapshot{
+		Bins:         r.bins,
+		Intervals:    r.intervals,
+		Queries:      append([]string(nil), r.queries...),
+		WirePkts:     r.wirePkts,
+		DropPkts:     r.dropPkts,
+		AdmitPkts:    r.admitPkts,
+		ExportCycles: r.exportCycles,
+		WindowBins:   r.filled,
+	}
+	if r.filled == 0 {
+		return s
+	}
+	var wire, drop, admit int
+	var unsampled float64
+	var utilSum float64
+	utilBins := 0
+	rateSum := make([]float64, len(r.queries))
+	rateN := make([]int, len(r.queries))
+	for i := 0; i < r.filled; i++ {
+		b := &r.ring[(r.head-1-i+2*r.window)%r.window]
+		wire += b.wire
+		drop += b.drop
+		admit += b.admit
+		unsampled += (1 - b.globalRate) * float64(b.admit)
+		s.MeanGlobalRate += b.globalRate
+		s.MeanDelay += b.bufferBins
+		if b.bufferBins > s.MaxDelay {
+			s.MaxDelay = b.bufferBins
+		}
+		s.MeanUsed += b.used
+		s.MeanOverhead += b.overhead
+		s.MeanShed += b.shed
+		if !math.IsInf(b.capacity, 1) && b.capacity > 0 {
+			utilSum += (b.used + b.overhead + b.shed) / b.capacity
+			utilBins++
+		}
+		for q, rate := range b.rates {
+			rateSum[q] += rate
+			rateN[q]++
+		}
+	}
+	n := float64(r.filled)
+	s.PktsPerBin = float64(wire) / n
+	if wire > 0 {
+		s.DropFrac = float64(drop) / float64(wire)
+	}
+	if admit > 0 {
+		s.UnsampledFrac = unsampled / float64(admit)
+	}
+	s.MeanGlobalRate /= n
+	s.MeanDelay /= n
+	s.MeanUsed /= n
+	s.MeanOverhead /= n
+	s.MeanShed /= n
+	if utilBins > 0 {
+		s.MeanUtil = utilSum / float64(utilBins)
+	}
+	s.MeanRates = make([]float64, len(r.queries))
+	for q := range rateSum {
+		if rateN[q] > 0 {
+			s.MeanRates[q] = rateSum[q] / float64(rateN[q])
+		}
+	}
+	return s
+}

@@ -92,6 +92,7 @@ func (s *System) newBinContext(bin int, b *pkt.Batch) *BinContext {
 		Wire: b,
 		Stats: BinStats{
 			Start:     b.Start,
+			Capacity:  capacity,
 			WirePkts:  b.Packets(),
 			WireBytes: b.Bytes(),
 			Rates:     make([]float64, len(s.qs)),
@@ -141,7 +142,10 @@ func (s *System) admit(bc *BinContext) {
 			dropFrac := math.Min(1, excess)
 			nDrop := int(dropFrac * float64(len(admitted)))
 			bc.Stats.DropPkts = nDrop
-			admitted = admitted[nDrop:]
+			// Tail drop: a full DAG buffer loses the packets that
+			// arrive while it is full — the newest ones (§4.1). The
+			// already-buffered head of the bin survives.
+			admitted = admitted[:len(admitted)-nDrop]
 		}
 	}
 	bc.Stats.AdmitPkts = len(admitted)

@@ -90,6 +90,41 @@ func TestAdmitBufferModel(t *testing.T) {
 	}
 }
 
+// TestAdmitTailDrop is the regression test for the drop-direction bug:
+// the admit stage modelled buffer overflow as admitted[nDrop:], i.e.
+// dropping the *oldest* packets, but a full DAG buffer loses the newest
+// arrivals — the ones that find it full (§4.1). The surviving packets
+// must be the head of the bin, in order, and the dropped ones its tail.
+func TestAdmitTailDrop(t *testing.T) {
+	const (
+		capacity   = 1000.0
+		bufferBins = 10.0
+		npkts      = 200
+	)
+	s := New(Config{Scheme: Predictive, Capacity: capacity, BufferBins: bufferBins, Seed: 1}, counterOnly())
+	// 10.5 bins of backlog: 0.5 bins beyond the buffer, so half the
+	// batch drops.
+	s.gov.Observe(core.Feedback{Overhead: capacity + 10500, QueryAvail: -1})
+	b := nPktBatch(npkts)
+	bc := s.newBinContext(0, &b)
+	s.admit(bc)
+
+	if bc.Stats.DropPkts != npkts/2 {
+		t.Fatalf("DropPkts = %d, want %d", bc.Stats.DropPkts, npkts/2)
+	}
+	admitted := bc.Admitted.Pkts
+	if len(admitted) != npkts/2 {
+		t.Fatalf("admitted %d packets, want %d", len(admitted), npkts/2)
+	}
+	for i := range admitted {
+		// nPktBatch stamps Ts = arrival order: survivors must be the
+		// earliest packets, not the latest.
+		if admitted[i].Ts != int64(i) {
+			t.Fatalf("admitted[%d].Ts = %d: buffer overflow dropped buffered packets instead of new arrivals", i, admitted[i].Ts)
+		}
+	}
+}
+
 // TestReactiveRateUpdate pins the Eq. 4.1 update:
 // srate_t = min(1, max(α, srate_{t-1} · (capacity − overhead − delay) / consumed_{t-1})).
 func TestReactiveRateUpdate(t *testing.T) {
@@ -144,7 +179,7 @@ func TestShedStreamIntervalRotation(t *testing.T) {
 	const dur = 3 * time.Second
 	demand := MeasureDemand(testSource(21, dur), stdQueries(), 99)
 	sys := New(Config{Scheme: Predictive, Capacity: demand / 3, Seed: 7}, stdQueries())
-	r := sys.newRunner(testSource(21, dur))
+	r := sys.newRunner(testSource(21, dur), nil)
 	for i := 0; i < 2*r.binsPerInterval; i++ {
 		if !r.step() {
 			t.Fatalf("trace ended at bin %d", i)
