@@ -1,0 +1,208 @@
+// Command benchjson runs the repository's benchmarks and writes the
+// results as JSON, so every PR can commit a machine-readable perf
+// snapshot (BENCH_<n>.json) and CI can gate on allocation regressions
+// without a flaky wall-clock threshold.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                       # micro + pipeline set -> stdout
+//	go run ./cmd/benchjson -out BENCH_5.json     # commit a new PR's snapshot
+//	go run ./cmd/benchjson -bench 'Micro' -benchtime 2s -out bench.json
+//	go run ./cmd/benchjson -maxallocs 'BenchmarkMicroFeatureExtraction=0'
+//
+// Each PR commits its snapshot under a fresh BENCH_<n>.json (never
+// overwrite an earlier PR's file — the sequence is the perf history).
+//
+// The -maxallocs gate takes comma-separated name=N pairs (names match
+// the benchmark function, without the -cpus suffix) and exits nonzero
+// when any matching benchmark reports more than N allocs/op — the
+// allocation gate CI runs on the extraction fast path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, decoded.
+type Result struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the committed snapshot format.
+type File struct {
+	Tool       string   `json:"tool"`
+	Go         string   `json:"go"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Packages   []string `json:"packages"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkMicro|BenchmarkStreamLongRun|BenchmarkRunLongRun|BenchmarkCluster$|BenchmarkExtract$|BenchmarkMultiRes|BenchmarkHashAgg",
+		"benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
+	count := flag.Int("count", 1, "passed to go test -count")
+	out := flag.String("out", "-", "output JSON path (default - writes to stdout; commit snapshots as BENCH_<n>.json, one per PR)")
+	maxallocs := flag.String("maxallocs", "", "comma-separated name=N allocation gates (fail if allocs/op exceed N)")
+	pkgs := flag.String("pkgs", ".,./pkg/loadshed,./internal/bitmap,./internal/hash,./internal/features", "comma-separated packages to benchmark")
+	flag.Parse()
+
+	pkgList := strings.Split(*pkgs, ",")
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+	args = append(args, pkgList...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, buf.String())
+		os.Exit(1)
+	}
+
+	results := parse(buf.String())
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in go test output:\n%s", buf.String())
+		os.Exit(1)
+	}
+
+	f := File{
+		Tool:       "cmd/benchjson",
+		Go:         runtime.Version(),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Packages:   pkgList,
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	} else {
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	}
+
+	if failed := gate(results, *maxallocs); failed {
+		os.Exit(1)
+	}
+}
+
+// parse decodes `go test -bench` output: "pkg:" lines set the current
+// package, benchmark lines carry an iteration count followed by
+// value/unit pairs (ns/op, MB/s, B/op, allocs/op, plus any
+// b.ReportMetric extras).
+func parse(output string) []Result {
+	var results []Result
+	pkg := ""
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		if after, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(after)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -cpus suffix
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: name, Pkg: pkg, Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "MB/s":
+				r.MBPerS = v
+			case "B/op":
+				r.BPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// gate applies the -maxallocs thresholds; it returns true when any
+// benchmark exceeds its cap (or a named benchmark never ran).
+func gate(results []Result, spec string) bool {
+	failed := false
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, limStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -maxallocs entry %q (want name=N)\n", pair)
+			failed = true
+			continue
+		}
+		lim, err := strconv.ParseFloat(limStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -maxallocs limit %q: %v\n", limStr, err)
+			failed = true
+			continue
+		}
+		matched := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp > lim {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %v allocs/op exceeds gate of %v\n", r.Name, r.AllocsPerOp, lim)
+				failed = true
+			} else {
+				fmt.Printf("benchjson: ok %s: %v allocs/op within gate %v\n", r.Name, r.AllocsPerOp, lim)
+			}
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL gate %s: benchmark did not run\n", name)
+			failed = true
+		}
+	}
+	return failed
+}

@@ -17,6 +17,13 @@
 //
 // Both counters ingest 64-bit hashes; the caller chooses the hash
 // function (the monitoring pipeline uses hash.H3).
+//
+// Both counters maintain their set-bit counts incrementally on Insert
+// and MergeFrom, so Ones and Estimate never scan the bit array, and
+// MultiRes additionally tracks which words have been written so Reset
+// costs O(words touched) rather than O(total size). The per-batch hot
+// loop therefore pays exactly one word read-modify-write per insertion
+// and nothing proportional to the configured bitmap size.
 package bitmap
 
 import (
@@ -25,21 +32,47 @@ import (
 	"math/bits"
 )
 
+// linearCount is the linear-counting estimator shared by both bitmap
+// kinds: b * ln(b / zeros) for a b-bit map with the given number of set
+// bits. A saturated bitmap (no zero bits) returns b * ln(b), the
+// largest value the estimator can express.
+func linearCount(size uint64, ones int) float64 {
+	if ones == 0 {
+		// b * ln(b/b) is exactly 0; skipping the Log call matters because
+		// MultiRes.Estimate visits every component and most are empty.
+		return 0
+	}
+	zeros := float64(int(size) - ones)
+	b := float64(size)
+	if zeros < 1 {
+		zeros = 1
+	}
+	return b * math.Log(b/zeros)
+}
+
+// roundSize rounds a bit count up to a power of two, minimum 64 (one
+// word), the granularity both bitmap kinds allocate at.
+func roundSize(nbits int) uint64 {
+	size := uint64(64)
+	for size < uint64(nbits) {
+		size <<= 1
+	}
+	return size
+}
+
 // Direct is a plain bitmap with linear-counting estimation. The zero
 // value is unusable; construct with NewDirect.
 type Direct struct {
 	words []uint64
 	size  uint64 // number of bits, power of two
 	mask  uint64
+	ones  int // set-bit count, maintained incrementally
 }
 
 // NewDirect returns a bitmap with at least the requested number of bits
 // (rounded up to a power of two, minimum 64).
 func NewDirect(nbits int) *Direct {
-	size := uint64(64)
-	for size < uint64(nbits) {
-		size <<= 1
-	}
+	size := roundSize(nbits)
 	return &Direct{
 		words: make([]uint64, size/64),
 		size:  size,
@@ -50,17 +83,18 @@ func NewDirect(nbits int) *Direct {
 // Insert records the item identified by hash h.
 func (d *Direct) Insert(h uint64) {
 	bit := h & d.mask
-	d.words[bit/64] |= 1 << (bit % 64)
+	m := uint64(1) << (bit & 63)
+	if d.words[bit>>6]&m == 0 {
+		d.words[bit>>6] |= m
+		d.ones++
+	}
 }
 
-// Ones returns the number of set bits.
-func (d *Direct) Ones() int {
-	n := 0
-	for _, w := range d.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+// Ones returns the number of set bits. The count is maintained on
+// Insert and MergeFrom, so this is O(1) — SuperSources calls it (via
+// Estimate) once per tracked source per interval, and the old full-scan
+// implementation made that quadratic in practice.
+func (d *Direct) Ones() int { return d.ones }
 
 // Size returns the bitmap size in bits.
 func (d *Direct) Size() int { return int(d.size) }
@@ -70,12 +104,7 @@ func (d *Direct) Size() int { return int(d.size) }
 // zero bits) returns b * ln(b), the largest value the estimator can
 // express.
 func (d *Direct) Estimate() float64 {
-	zeros := float64(int(d.size) - d.Ones())
-	b := float64(d.size)
-	if zeros < 1 {
-		zeros = 1
-	}
-	return b * math.Log(b/zeros)
+	return linearCount(d.size, d.ones)
 }
 
 // Reset clears all bits.
@@ -83,6 +112,7 @@ func (d *Direct) Reset() {
 	for i := range d.words {
 		d.words[i] = 0
 	}
+	d.ones = 0
 }
 
 // MergeFrom ORs another bitmap of identical size into d. It panics if the
@@ -92,7 +122,12 @@ func (d *Direct) MergeFrom(o *Direct) {
 		panic(fmt.Sprintf("bitmap: merging direct bitmaps of different sizes %d and %d", d.size, o.size))
 	}
 	for i, w := range o.words {
-		d.words[i] |= w
+		old := d.words[i]
+		nw := old | w
+		if nw != old {
+			d.ones += bits.OnesCount64(nw) - bits.OnesCount64(old)
+			d.words[i] = nw
+		}
 	}
 }
 
@@ -108,29 +143,52 @@ const saturationFill = 0.9
 // coarsest usable ("base") component is located and the linear-counting
 // estimates of components base..c-1 are summed and rescaled by 2^base.
 //
+// All components live in one flat contiguous word array (component i
+// occupies words [i*wpc, (i+1)*wpc)), with two pieces of bookkeeping
+// maintained on every write:
+//
+//   - ones[i]: the set-bit count of component i, so Estimate is
+//     O(levels) instead of a full popcount scan;
+//   - dirty: the indices of the nonzero words, appended exactly when a
+//     word transitions zero→nonzero, so Reset zeroes only the words a
+//     sparse batch actually touched and MergeFrom visits only the
+//     source's nonzero words.
+//
 // The zero value is unusable; construct with NewMultiRes.
 type MultiRes struct {
-	comps  []*Direct
-	nbits  int
+	words  []uint64 // levels × wpc, flat
+	ones   []int    // per-component set-bit counts
+	dirty  []int32  // indices of nonzero words (no duplicates)
+	nbits  int      // requested per-component size, kept for geometry checks
+	size   uint64   // actual per-component size in bits (power of two, ≥64)
+	mask   uint64
+	wpc    int // words per component (power of two)
+	wshift int // log2(wpc)
 	levels int
 }
 
 // NewMultiRes returns a multi-resolution bitmap with the given number of
 // components ("levels"), each holding nbits bits. Inserting costs one
-// bitmap write regardless of parameters.
+// bitmap write regardless of parameters. The dirty-word list is
+// preallocated at full capacity, so the counter never allocates after
+// construction.
 func NewMultiRes(nbits, levels int) *MultiRes {
 	if levels < 2 {
 		panic("bitmap: MultiRes needs at least 2 levels")
 	}
-	m := &MultiRes{
-		comps:  make([]*Direct, levels),
+	size := roundSize(nbits)
+	wpc := int(size / 64)
+	return &MultiRes{
+		words:  make([]uint64, levels*wpc),
+		ones:   make([]int, levels),
+		dirty:  make([]int32, 0, levels*wpc),
 		nbits:  nbits,
+		size:   size,
+		mask:   size - 1,
+		wpc:    wpc,
+		wshift: bits.TrailingZeros(uint(wpc)),
 		levels: levels,
 	}
-	for i := range m.comps {
-		m.comps[i] = NewDirect(nbits)
-	}
-	return m
 }
 
 // DefaultMultiRes returns a counter dimensioned for the monitoring
@@ -152,14 +210,55 @@ func (m *MultiRes) Insert(h uint64) {
 	lv := m.level(h)
 	// The bits that chose the level are no longer uniform; index the
 	// component with the remaining high bits.
-	m.comps[lv].Insert(h >> uint(lv+1))
+	bit := (h >> uint(lv+1)) & m.mask
+	idx := lv*m.wpc + int(bit>>6)
+	mask := uint64(1) << (bit & 63)
+	w := m.words[idx]
+	if w&mask != 0 {
+		return
+	}
+	if w == 0 {
+		m.dirty = append(m.dirty, int32(idx))
+	}
+	m.words[idx] = w | mask
+	m.ones[lv]++
 }
 
-// Estimate returns the estimated number of distinct items inserted.
+// InsertMany records every item in hs — Insert unrolled into a single
+// call with the hot fields held in locals, which is what the
+// per-aggregate extraction loop feeds (one hash slice per batch per
+// aggregate). Equivalent to calling Insert on each element in order.
+func (m *MultiRes) InsertMany(hs []uint64) {
+	words, ones, dirty := m.words, m.ones, m.dirty
+	last, mask, wshift := m.levels-1, m.mask, uint(m.wshift)
+	for _, h := range hs {
+		lv := bits.TrailingZeros64(^h)
+		if lv > last {
+			lv = last
+		}
+		bit := (h >> uint(lv+1)) & mask
+		idx := lv<<wshift + int(bit>>6)
+		shift := bit & 63
+		w := words[idx]
+		// Branchless on the duplicate check: a repeated item at level 0 is
+		// a coin flip on real traffic, and a mispredicted branch there
+		// costs more than the unconditional (idempotent) store.
+		words[idx] = w | 1<<shift
+		ones[lv] += int(^w>>shift) & 1
+		if w == 0 {
+			dirty = append(dirty, int32(idx))
+		}
+	}
+	m.dirty = dirty
+}
+
+// Estimate returns the estimated number of distinct items inserted. It
+// reads only the per-component set-bit counts — O(levels), independent
+// of the bitmap size.
 func (m *MultiRes) Estimate() float64 {
 	base := 0
 	for base < m.levels-1 {
-		fill := float64(m.comps[base].Ones()) / float64(m.comps[base].Size())
+		fill := float64(m.ones[base]) / float64(m.size)
 		if fill <= saturationFill {
 			break
 		}
@@ -167,27 +266,44 @@ func (m *MultiRes) Estimate() float64 {
 	}
 	var sum float64
 	for i := base; i < m.levels; i++ {
-		sum += m.comps[i].Estimate()
+		sum += linearCount(m.size, m.ones[i])
 	}
 	return sum * math.Pow(2, float64(base))
 }
 
-// Reset clears every component.
+// Reset clears every component. Only the words recorded dirty are
+// zeroed, so a sparse batch pays for the words it wrote, not for the
+// configured capacity.
 func (m *MultiRes) Reset() {
-	for _, c := range m.comps {
-		c.Reset()
+	for _, idx := range m.dirty {
+		m.words[idx] = 0
+	}
+	m.dirty = m.dirty[:0]
+	for i := range m.ones {
+		m.ones[i] = 0
 	}
 }
 
 // MergeFrom ORs another multi-resolution bitmap with identical geometry
-// into m; the result counts the union of the two insert streams. It
-// panics if the geometries differ.
+// into m; the result counts the union of the two insert streams. Only
+// o's nonzero words are visited, which is what makes the per-batch
+// interval merge cheap for sparse batches. It panics if the geometries
+// differ.
 func (m *MultiRes) MergeFrom(o *MultiRes) {
 	if m.nbits != o.nbits || m.levels != o.levels {
 		panic("bitmap: merging MultiRes bitmaps with different geometry")
 	}
-	for i := range m.comps {
-		m.comps[i].MergeFrom(o.comps[i])
+	for _, idx := range o.dirty {
+		old := m.words[idx]
+		nw := old | o.words[idx]
+		if nw == old {
+			continue
+		}
+		if old == 0 {
+			m.dirty = append(m.dirty, idx)
+		}
+		m.ones[int(idx)/m.wpc] += bits.OnesCount64(nw) - bits.OnesCount64(old)
+		m.words[idx] = nw
 	}
 }
 

@@ -259,6 +259,176 @@ func TestMultiResMonotoneUnderInsertionProperty(t *testing.T) {
 	}
 }
 
+// scanOnes popcounts a word slice — the reference the incremental
+// counters are checked against.
+func scanOnes(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDirectOnesIncremental(t *testing.T) {
+	// The incremental set-bit count must track the actual words through
+	// inserts (including duplicates), merges and resets.
+	d := NewDirect(512)
+	o := NewDirect(512)
+	rng := hash.NewXorShift(11)
+	for i := 0; i < 2000; i++ {
+		d.Insert(rng.Uint64() % 700) // force collisions
+		o.Insert(rng.Uint64() % 700)
+		if i%251 == 0 {
+			d.MergeFrom(o)
+		}
+		if got, want := d.Ones(), scanOnes(d.words); got != want {
+			t.Fatalf("step %d: Ones = %d, scan = %d", i, got, want)
+		}
+	}
+	d.Reset()
+	if d.Ones() != 0 || scanOnes(d.words) != 0 {
+		t.Fatal("Reset left bits or a stale count behind")
+	}
+}
+
+// refMultiRes is the pre-flat-layout MultiRes algorithm, one Direct per
+// component, kept as the equivalence oracle for the rewrite.
+type refMultiRes struct {
+	comps  []*Direct
+	levels int
+}
+
+func newRefMultiRes(nbits, levels int) *refMultiRes {
+	r := &refMultiRes{comps: make([]*Direct, levels), levels: levels}
+	for i := range r.comps {
+		r.comps[i] = NewDirect(nbits)
+	}
+	return r
+}
+
+func (r *refMultiRes) level(h uint64) int {
+	lv := 0
+	for lv < r.levels-1 && h&(1<<uint(lv)) != 0 {
+		lv++
+	}
+	return lv
+}
+
+func (r *refMultiRes) Insert(h uint64) {
+	lv := r.level(h)
+	r.comps[lv].Insert(h >> uint(lv+1))
+}
+
+func (r *refMultiRes) Estimate() float64 {
+	base := 0
+	for base < r.levels-1 {
+		fill := float64(scanOnes(r.comps[base].words)) / float64(r.comps[base].Size())
+		if fill <= saturationFill {
+			break
+		}
+		base++
+	}
+	var sum float64
+	for i := base; i < r.levels; i++ {
+		sum += linearCount(r.comps[i].size, scanOnes(r.comps[i].words))
+	}
+	return sum * math.Pow(2, float64(base))
+}
+
+func TestMultiResMatchesReferenceImplementation(t *testing.T) {
+	// The flat-layout counter must be bit-identical to the per-component
+	// Direct implementation across inserts, resets and merges.
+	f := func(xs, ys []uint64, seed uint64) bool {
+		m := NewMultiRes(256, 8)
+		ref := newRefMultiRes(256, 8)
+		for _, x := range xs {
+			m.Insert(x)
+			ref.Insert(x)
+		}
+		if m.Estimate() != ref.Estimate() {
+			return false
+		}
+		m.Reset()
+		ref = newRefMultiRes(256, 8)
+		other := NewMultiRes(256, 8)
+		for _, y := range ys {
+			other.Insert(y)
+			ref.Insert(y)
+		}
+		m.MergeFrom(other)
+		return m.Estimate() == ref.Estimate()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiResDirtyTracking(t *testing.T) {
+	m := NewMultiRes(256, 8)
+	rng := hash.NewXorShift(13)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			m.Insert(rng.Uint64())
+		}
+		// dirty must list exactly the nonzero words, without duplicates.
+		seen := make(map[int32]bool, len(m.dirty))
+		for _, idx := range m.dirty {
+			if seen[idx] {
+				t.Fatalf("round %d: duplicate dirty index %d", round, idx)
+			}
+			seen[idx] = true
+			if m.words[idx] == 0 {
+				t.Fatalf("round %d: dirty index %d is zero", round, idx)
+			}
+		}
+		nonzero := 0
+		for i, w := range m.words {
+			if w != 0 {
+				nonzero++
+				if !seen[int32(i)] {
+					t.Fatalf("round %d: nonzero word %d not tracked dirty", round, i)
+				}
+			}
+		}
+		if nonzero != len(m.dirty) {
+			t.Fatalf("round %d: %d nonzero words, %d dirty entries", round, nonzero, len(m.dirty))
+		}
+		// Per-component counts must match a scan of the flat array.
+		for lv := 0; lv < m.levels; lv++ {
+			if got, want := m.ones[lv], scanOnes(m.words[lv*m.wpc:(lv+1)*m.wpc]); got != want {
+				t.Fatalf("round %d: component %d ones = %d, scan = %d", round, lv, got, want)
+			}
+		}
+		m.Reset()
+		if len(m.dirty) != 0 || scanOnes(m.words) != 0 {
+			t.Fatalf("round %d: Reset left state behind", round)
+		}
+	}
+}
+
+func TestMultiResNoAllocSteadyState(t *testing.T) {
+	m := DefaultMultiRes()
+	rng := hash.NewXorShift(17)
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 2000; i++ {
+			m.Insert(rng.Uint64())
+		}
+		m.Estimate()
+		m.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocations = %v, want 0", allocs)
+	}
+}
+
 func BenchmarkMultiResInsert(b *testing.B) {
 	m := DefaultMultiRes()
 	rng := hash.NewXorShift(1)

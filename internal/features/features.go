@@ -93,13 +93,22 @@ func Names() []string {
 // measurement interval (new counts); the interval bitmap is updated by
 // ORing the batch bitmap into it, exactly as described in §3.2.1.
 //
+// The extractor is built for the fast path: per packet it pays one
+// field-wise H3 hash (hash.H3.HashAgg — no key serialization) and one
+// bitmap write per aggregate, and the whole extraction allocates
+// nothing after warm-up — Extract and ExtractFromBatchOf return an
+// internal scratch vector that is overwritten by the next extraction
+// call on the same Extractor (copy it to retain it; predict.History
+// does). Use ExtractInto to supply your own destination.
+//
 // The zero value is unusable; construct with NewExtractor.
 type Extractor struct {
 	h3       [pkt.NumAggregates]*hash.H3
 	batch    [pkt.NumAggregates]*bitmap.MultiRes
 	interval [pkt.NumAggregates]*bitmap.MultiRes
 	intEst   [pkt.NumAggregates]float64 // current interval-bitmap estimate
-	keyBuf   []byte
+	scratch  Vector                     // returned by Extract/ExtractFromBatchOf
+	hashBuf  []uint64                   // per-aggregate hash staging, sized to the largest batch seen
 
 	// Ops counts hash+insert operations performed, so the experiment
 	// harness can charge feature extraction its deterministic cost
@@ -110,7 +119,7 @@ type Extractor struct {
 // NewExtractor returns an extractor whose hash functions derive from
 // seed.
 func NewExtractor(seed uint64) *Extractor {
-	e := &Extractor{keyBuf: make([]byte, 0, 16)}
+	e := &Extractor{scratch: make(Vector, NumFeatures)}
 	for a := 0; a < pkt.NumAggregates; a++ {
 		e.h3[a] = hash.NewH3(seed + uint64(a)*0x9e3779b97f4a7c15)
 		e.batch[a] = bitmap.NewMultiRes(2048, 16)
@@ -139,6 +148,32 @@ func (e *Extractor) IntervalEstimates() []float64 {
 	return out
 }
 
+// finishAggregate folds aggregate a's freshly filled batch bitmap of
+// src into e's interval state and writes the aggregate's four counters
+// into v. It is the per-aggregate tail shared by every extraction path;
+// src is e itself except on the merge-only path.
+func (e *Extractor) finishAggregate(v Vector, src *Extractor, a int, npkts float64) {
+	unique := src.batch[a].Estimate()
+	e.interval[a].MergeFrom(src.batch[a])
+	after := e.interval[a].Estimate()
+	newItems := after - e.intEst[a]
+	e.intEst[a] = after
+	if newItems < 0 {
+		newItems = 0
+	}
+	if unique > npkts {
+		unique = npkts
+	}
+	if newItems > unique {
+		newItems = unique
+	}
+	agg := pkt.Aggregate(a)
+	v[IdxUnique(agg)] = unique
+	v[IdxNew(agg)] = newItems
+	v[IdxRepeated(agg)] = npkts - unique
+	v[IdxIntRepeated(agg)] = npkts - newItems
+}
+
 // ExtractFromBatchOf computes a feature vector for the batch most
 // recently extracted by src, relative to e's own interval state. It
 // merges src's per-batch bitmaps into e's interval bitmaps instead of
@@ -146,75 +181,67 @@ func (e *Extractor) IntervalEstimates() []float64 {
 // rate is 1 can do: its stream is identical to the full stream, so no
 // re-extraction is needed (§4.3 — features are only re-extracted "after
 // sampling"). Both extractors must share bitmap geometry (they do, by
-// construction).
+// construction). The returned vector is e's scratch: it is valid until
+// the next extraction call on e.
 func (e *Extractor) ExtractFromBatchOf(src *Extractor, npkts, nbytes float64) Vector {
-	v := make(Vector, NumFeatures)
+	e.scratch = e.ExtractFromBatchOfInto(e.scratch, src, npkts, nbytes)
+	return e.scratch
+}
+
+// ExtractFromBatchOfInto is ExtractFromBatchOf writing into v (grown if
+// needed) — the allocation-free form.
+func (e *Extractor) ExtractFromBatchOfInto(v Vector, src *Extractor, npkts, nbytes float64) Vector {
+	v = sized(v)
 	v[IdxPackets] = npkts
 	v[IdxBytes] = nbytes
 	for a := 0; a < pkt.NumAggregates; a++ {
-		unique := src.batch[a].Estimate()
-		e.interval[a].MergeFrom(src.batch[a])
-		after := e.interval[a].Estimate()
-		newItems := after - e.intEst[a]
-		e.intEst[a] = after
-		if newItems < 0 {
-			newItems = 0
-		}
-		if unique > npkts {
-			unique = npkts
-		}
-		if newItems > unique {
-			newItems = unique
-		}
-		agg := pkt.Aggregate(a)
-		v[IdxUnique(agg)] = unique
-		v[IdxNew(agg)] = newItems
-		v[IdxRepeated(agg)] = npkts - unique
-		v[IdxIntRepeated(agg)] = npkts - newItems
+		e.finishAggregate(v, src, a, npkts)
 	}
 	return v
 }
 
-// Extract computes the feature vector of b.
+// Extract computes the feature vector of b. The returned vector is e's
+// scratch: it is valid until the next extraction call on e (copy it to
+// retain it across batches).
 func (e *Extractor) Extract(b *pkt.Batch) Vector {
-	v := make(Vector, NumFeatures)
-	v[IdxPackets] = float64(b.Packets())
+	e.scratch = e.ExtractInto(e.scratch, b)
+	return e.scratch
+}
+
+// ExtractInto computes the feature vector of b into v, growing it if
+// needed, and returns it. After warm-up the extraction performs no
+// allocations: hashing is field-wise (no key serialization), the batch
+// bitmaps reset only the words the previous batch touched, and the
+// estimates read incrementally maintained popcounts.
+//
+// Aggregates iterate in the outer loop, packets in the inner one, so
+// each pass streams the batch through a single H3 table and a single
+// bitmap — one predictable branch and a cache-resident lookup table per
+// pass, instead of cycling all ten tables through the cache per packet.
+// Bitmap contents are order-independent (pure ORs), so the result is
+// bit-identical to per-packet order.
+func (e *Extractor) ExtractInto(v Vector, b *pkt.Batch) Vector {
+	v = sized(v)
+	npkts := float64(b.Packets())
+	v[IdxPackets] = npkts
 	v[IdxBytes] = float64(b.Bytes())
 
 	for a := 0; a < pkt.NumAggregates; a++ {
-		e.batch[a].Reset()
+		bm := e.batch[a]
+		bm.Reset()
+		e.hashBuf = e.h3[a].AggHashes(e.hashBuf, b.Pkts, pkt.Aggregate(a))
+		bm.InsertMany(e.hashBuf)
+		e.finishAggregate(v, e, a, npkts)
 	}
-	for i := range b.Pkts {
-		p := &b.Pkts[i]
-		for a := 0; a < pkt.NumAggregates; a++ {
-			e.keyBuf = p.AppendAggKey(e.keyBuf[:0], pkt.Aggregate(a))
-			h := hash.Mix64(e.h3[a].Hash(e.keyBuf))
-			e.batch[a].Insert(h)
-			e.Ops++
-		}
-	}
-
-	npkts := v[IdxPackets]
-	for a := 0; a < pkt.NumAggregates; a++ {
-		unique := e.batch[a].Estimate()
-		e.interval[a].MergeFrom(e.batch[a])
-		after := e.interval[a].Estimate()
-		newItems := after - e.intEst[a]
-		e.intEst[a] = after
-		if newItems < 0 {
-			newItems = 0
-		}
-		if unique > npkts {
-			unique = npkts
-		}
-		if newItems > unique {
-			newItems = unique
-		}
-		agg := pkt.Aggregate(a)
-		v[IdxUnique(agg)] = unique
-		v[IdxNew(agg)] = newItems
-		v[IdxRepeated(agg)] = npkts - unique
-		v[IdxIntRepeated(agg)] = npkts - newItems
-	}
+	e.Ops += int64(len(b.Pkts)) * pkt.NumAggregates
 	return v
+}
+
+// sized returns v resized to NumFeatures, reallocating only when the
+// capacity is short.
+func sized(v Vector) Vector {
+	if cap(v) < NumFeatures {
+		return make(Vector, NumFeatures)
+	}
+	return v[:NumFeatures]
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/hash"
 	"repro/internal/pkt"
 	"repro/internal/trace"
 )
@@ -189,6 +190,110 @@ func TestOpsCounting(t *testing.T) {
 	e.Extract(mkBatch(p(1, 2, 3, 4, 100), p(5, 6, 7, 8, 100)))
 	if e.Ops != 2*pkt.NumAggregates {
 		t.Fatalf("Ops = %d, want %d", e.Ops, 2*pkt.NumAggregates)
+	}
+}
+
+// extractOracle is the pre-refactor extraction algorithm — serialize
+// each aggregate key with AppendAggKey, hash the bytes, insert in
+// per-packet order — kept as the equivalence oracle for the
+// field-wise/flat-bitmap fast path.
+func extractOracle(e *Extractor, b *pkt.Batch) Vector {
+	v := make(Vector, NumFeatures)
+	v[IdxPackets] = float64(b.Packets())
+	v[IdxBytes] = float64(b.Bytes())
+
+	for a := 0; a < pkt.NumAggregates; a++ {
+		e.batch[a].Reset()
+	}
+	var keyBuf []byte
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		for a := 0; a < pkt.NumAggregates; a++ {
+			keyBuf = p.AppendAggKey(keyBuf[:0], pkt.Aggregate(a))
+			e.batch[a].Insert(hash.Mix64(e.h3[a].Hash(keyBuf)))
+		}
+	}
+
+	npkts := v[IdxPackets]
+	for a := 0; a < pkt.NumAggregates; a++ {
+		e.finishAggregate(v, e, a, npkts)
+	}
+	return v
+}
+
+func TestExtractMatchesBytePathOracle(t *testing.T) {
+	// The fast path must be bit-identical to the serialize-and-hash
+	// oracle on real-ish traffic, across batch and interval boundaries.
+	g := trace.NewGenerator(trace.Config{Seed: 21, Duration: 2 * time.Second, PacketsPerSec: 8000})
+	fast := NewExtractor(5)
+	oracle := NewExtractor(5)
+	fast.StartInterval()
+	oracle.StartInterval()
+	bin := 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		if bin == 10 { // exercise an interval rotation mid-comparison
+			fast.StartInterval()
+			oracle.StartInterval()
+		}
+		got := fast.Extract(&b)
+		want := extractOracle(oracle, &b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bin %d, feature %s: fast = %v, oracle = %v", bin, Name(i), got[i], want[i])
+			}
+		}
+		bin++
+	}
+	if bin == 0 {
+		t.Fatal("no batches generated")
+	}
+}
+
+func TestExtractIntoReusesBuffer(t *testing.T) {
+	g := trace.NewGenerator(trace.Config{Seed: 2, Duration: time.Second, PacketsPerSec: 2000})
+	b1, _ := g.NextBatch()
+	b2, _ := g.NextBatch()
+	e := NewExtractor(1)
+	e.StartInterval()
+	v := make(Vector, 0, NumFeatures)
+	v = e.ExtractInto(v, &b1)
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length = %d", len(v))
+	}
+	w := e.ExtractInto(v, &b2)
+	if &w[0] != &v[0] {
+		t.Fatal("ExtractInto reallocated a buffer with sufficient capacity")
+	}
+	if w[IdxPackets] != float64(b2.Packets()) {
+		t.Fatalf("packets = %v, want %v", w[IdxPackets], b2.Packets())
+	}
+}
+
+func TestExtractZeroAllocSteadyState(t *testing.T) {
+	g := trace.NewGenerator(trace.Config{Seed: 4, Duration: time.Second, PacketsPerSec: 10000})
+	batch, _ := g.NextBatch()
+	e := NewExtractor(1)
+	e.StartInterval()
+	e.Extract(&batch) // warm-up: grows nothing but populates caches
+	allocs := testing.AllocsPerRun(20, func() {
+		e.Extract(&batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("Extract steady-state allocations = %v, want 0", allocs)
+	}
+	src := NewExtractor(2)
+	src.StartInterval()
+	src.Extract(&batch)
+	e.ExtractFromBatchOf(src, 10, 1000)
+	allocs = testing.AllocsPerRun(20, func() {
+		e.ExtractFromBatchOf(src, 10, 1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractFromBatchOf steady-state allocations = %v, want 0", allocs)
 	}
 }
 

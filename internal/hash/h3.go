@@ -10,7 +10,11 @@
 // which is the property the load shedding system relies on.
 package hash
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/pkt"
+)
 
 // KeySize is the number of bytes in a canonical 5-tuple flow key:
 // source IP (4), destination IP (4), source port (2), destination
@@ -74,6 +78,115 @@ func (h *H3) Unit(key []byte) float64 {
 // bitmap buckets.
 func (h *H3) Uint32(key []byte) uint32 {
 	return uint32(h.Hash(key) >> 32)
+}
+
+// HashAgg returns the H3 hash of packet p's key for aggregate a,
+// bit-identical to Hash(p.AppendAggKey(nil, a)) — XORing the
+// per-(position,byte) tables of the key's fixed layout directly from
+// the header fields, with no serialization buffer in between. This is
+// the per-packet fast path of feature extraction (§3.2.1: one hash and
+// one bitmap write per aggregate); the byte-slice Hash stays as the
+// equivalence oracle.
+func (h *H3) HashAgg(p *pkt.Packet, a pkt.Aggregate) uint64 {
+	switch a {
+	case pkt.AggSrcIP:
+		return h.u32(0, p.SrcIP)
+	case pkt.AggDstIP:
+		return h.u32(0, p.DstIP)
+	case pkt.AggProto:
+		return h.table[0][p.Proto]
+	case pkt.AggSrcDstIP:
+		return h.u32(0, p.SrcIP) ^ h.u32(4, p.DstIP)
+	case pkt.AggSrcPortProto:
+		return h.u16(0, p.SrcPort) ^ h.table[2][p.Proto]
+	case pkt.AggDstPortProto:
+		return h.u16(0, p.DstPort) ^ h.table[2][p.Proto]
+	case pkt.AggSrcIPSrcPortProto:
+		return h.u32(0, p.SrcIP) ^ h.u16(4, p.SrcPort) ^ h.table[6][p.Proto]
+	case pkt.AggDstIPDstPortProto:
+		return h.u32(0, p.DstIP) ^ h.u16(4, p.DstPort) ^ h.table[6][p.Proto]
+	case pkt.AggSrcDstPortProto:
+		return h.u16(0, p.SrcPort) ^ h.u16(2, p.DstPort) ^ h.table[4][p.Proto]
+	case pkt.Agg5Tuple:
+		return h.u32(0, p.SrcIP) ^ h.u32(4, p.DstIP) ^
+			h.u16(8, p.SrcPort) ^ h.u16(10, p.DstPort) ^ h.table[12][p.Proto]
+	default:
+		panic("hash: unknown aggregate")
+	}
+}
+
+// AggHashes fills dst (grown if needed, overwritten, returned) with the
+// Mix64-finalized H3 hash of every packet's aggregate-a key:
+// dst[i] = Mix64(HashAgg(&pkts[i], a)). This is the bulk form the
+// feature extractor's hot loop uses: the aggregate switch is resolved
+// once per batch instead of once per packet, and each case body is a
+// tight loop of table lookups and XORs that streams the packet slice
+// through a single cache-resident lookup table.
+func (h *H3) AggHashes(dst []uint64, pkts []pkt.Packet, a pkt.Aggregate) []uint64 {
+	if cap(dst) < len(pkts) {
+		dst = make([]uint64, len(pkts))
+	}
+	dst = dst[:len(pkts)]
+	switch a {
+	case pkt.AggSrcIP:
+		for i := range pkts {
+			dst[i] = Mix64(h.u32(0, pkts[i].SrcIP))
+		}
+	case pkt.AggDstIP:
+		for i := range pkts {
+			dst[i] = Mix64(h.u32(0, pkts[i].DstIP))
+		}
+	case pkt.AggProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.table[0][pkts[i].Proto])
+		}
+	case pkt.AggSrcDstIP:
+		for i := range pkts {
+			dst[i] = Mix64(h.u32(0, pkts[i].SrcIP) ^ h.u32(4, pkts[i].DstIP))
+		}
+	case pkt.AggSrcPortProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.u16(0, pkts[i].SrcPort) ^ h.table[2][pkts[i].Proto])
+		}
+	case pkt.AggDstPortProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.u16(0, pkts[i].DstPort) ^ h.table[2][pkts[i].Proto])
+		}
+	case pkt.AggSrcIPSrcPortProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.u32(0, pkts[i].SrcIP) ^ h.u16(4, pkts[i].SrcPort) ^ h.table[6][pkts[i].Proto])
+		}
+	case pkt.AggDstIPDstPortProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.u32(0, pkts[i].DstIP) ^ h.u16(4, pkts[i].DstPort) ^ h.table[6][pkts[i].Proto])
+		}
+	case pkt.AggSrcDstPortProto:
+		for i := range pkts {
+			dst[i] = Mix64(h.u16(0, pkts[i].SrcPort) ^ h.u16(2, pkts[i].DstPort) ^ h.table[4][pkts[i].Proto])
+		}
+	case pkt.Agg5Tuple:
+		for i := range pkts {
+			p := &pkts[i]
+			dst[i] = Mix64(h.u32(0, p.SrcIP) ^ h.u32(4, p.DstIP) ^
+				h.u16(8, p.SrcPort) ^ h.u16(10, p.DstPort) ^ h.table[12][p.Proto])
+		}
+	default:
+		panic("hash: unknown aggregate")
+	}
+	return dst
+}
+
+// u32 hashes a big-endian 32-bit field whose serialization starts at
+// key byte pos.
+func (h *H3) u32(pos int, v uint32) uint64 {
+	return h.table[pos][byte(v>>24)] ^ h.table[pos+1][byte(v>>16)] ^
+		h.table[pos+2][byte(v>>8)] ^ h.table[pos+3][byte(v)]
+}
+
+// u16 hashes a big-endian 16-bit field whose serialization starts at
+// key byte pos.
+func (h *H3) u16(pos int, v uint16) uint64 {
+	return h.table[pos][byte(v>>8)] ^ h.table[pos+1][byte(v)]
 }
 
 // Mix64 applies the splitmix64 finalizer to x. H3 is linear over GF(2),

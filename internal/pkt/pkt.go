@@ -163,17 +163,32 @@ type Batch struct {
 	Start time.Duration // offset of the bin start from trace start
 	Bin   time.Duration // bin length
 	Pkts  []Packet
+
+	// Bytes() cache: cachedFor holds len(Pkts)+1 at the time the sum was
+	// taken (0 = no cache), so shrinking Pkts — what sampling and
+	// admission drops do — invalidates it for free. Callers that replace
+	// Pkts with a different slice of the same length must use a fresh
+	// Batch value. The cache makes Bytes unsafe for concurrent use on a
+	// shared *Batch; the pipeline only calls it on goroutine-local
+	// batches.
+	cachedBytes int
+	cachedFor   int
 }
 
 // Packets returns the number of packets in the batch.
 func (b *Batch) Packets() int { return len(b.Pkts) }
 
-// Bytes returns the total wire bytes in the batch.
+// Bytes returns the total wire bytes in the batch, summing once and
+// serving repeat calls from a cache keyed on the packet count.
 func (b *Batch) Bytes() int {
+	if b.cachedFor == len(b.Pkts)+1 {
+		return b.cachedBytes
+	}
 	n := 0
 	for i := range b.Pkts {
 		n += b.Pkts[i].Size
 	}
+	b.cachedBytes, b.cachedFor = n, len(b.Pkts)+1
 	return n
 }
 

@@ -147,8 +147,39 @@ func TestBatchAccounting(t *testing.T) {
 	if b.Bytes() != 600 {
 		t.Errorf("Bytes = %d", b.Bytes())
 	}
+	if b.Bytes() != 600 {
+		t.Errorf("cached Bytes = %d", b.Bytes())
+	}
 	if b.CapturedBytes() != 5 {
 		t.Errorf("CapturedBytes = %d", b.CapturedBytes())
+	}
+}
+
+func TestBatchBytesCacheInvalidatedByShrink(t *testing.T) {
+	b := Batch{Pkts: []Packet{{Size: 100}, {Size: 200}, {Size: 300}}}
+	if b.Bytes() != 600 {
+		t.Fatalf("Bytes = %d", b.Bytes())
+	}
+	// Sampling and admission drops shrink Pkts; the cache must notice.
+	sampled := b
+	sampled.Pkts = b.Pkts[:1]
+	if sampled.Bytes() != 100 {
+		t.Fatalf("shrunk Bytes = %d, want 100", sampled.Bytes())
+	}
+	sampled.Pkts = nil
+	if sampled.Bytes() != 0 {
+		t.Fatalf("empty Bytes = %d, want 0", sampled.Bytes())
+	}
+	// The original batch's cache is unaffected by the copy.
+	if b.Bytes() != 600 {
+		t.Fatalf("original Bytes = %d", b.Bytes())
+	}
+}
+
+func TestBatchBytesEmpty(t *testing.T) {
+	var b Batch
+	if b.Bytes() != 0 {
+		t.Fatalf("empty Bytes = %d", b.Bytes())
 	}
 }
 

@@ -171,6 +171,10 @@ func (s *System) extractPredict(bc *BinContext) {
 	}
 	var predSum float64
 	opsBefore := s.globalExt.Ops
+	// Extract returns the extractor's scratch vector — no per-bin
+	// allocation. It stays valid for the whole bin (workers read it in
+	// execute) because the next write to it is the next bin's
+	// extractPredict, on this goroutine, after the pool has drained.
 	bc.fv = s.globalExt.Extract(&bc.Admitted)
 	bc.overhead += feCostPerOp * float64(s.globalExt.Ops-opsBefore)
 	for i, rq := range s.qs {
@@ -294,6 +298,9 @@ func (s *System) execute(bc *BinContext) {
 			sampled := s.shedSamp.Sample(bc.Admitted.Pkts, repRate)
 			sb := pkt.Batch{Start: bc.Admitted.Start, Bin: bc.Admitted.Bin, Pkts: sampled}
 			opsBefore := s.shedExt.Ops
+			// Only the side effect matters here — shedExt's batch bitmaps,
+			// which sampled queries merge from in executeQuery — so the
+			// scratch vector Extract fills is deliberately unused.
 			s.shedExt.Extract(&sb)
 			bc.shedCycles += feCostPerOp * float64(s.shedExt.Ops-opsBefore)
 			bc.shedCycles += sampleCostPerPkt * float64(len(bc.Admitted.Pkts))
@@ -387,13 +394,18 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 		customMode := rq.shed != nil && rq.shed.Mode() == custom.ModeCustom
 		disabled := rq.shed != nil && rq.shed.Mode() == custom.ModeDisabled
 		if !(customMode && rate <= 0) && !disabled {
+			// ExtractFromBatchOf returns rq.ext's scratch vector without
+			// allocating; it only has to live until Observe copies it into
+			// the predictor's history just below. Safe on the worker pool:
+			// rq.ext is query-owned, and the shared source extractors are
+			// only read (their batch bitmaps are frozen by the earlier
+			// stages).
 			var qf features.Vector
 			if rate >= 1 || customMode {
 				// Stream identical to the full batch: merge, don't rescan.
 				qf = rq.ext.ExtractFromBatchOf(s.globalExt, bc.fv[features.IdxPackets], bc.fv[features.IdxBytes])
 			} else {
-				nb := pkt.Batch{Pkts: qb.Pkts}
-				qf = rq.ext.ExtractFromBatchOf(s.shedExt, float64(len(qb.Pkts)), float64(nb.Bytes()))
+				qf = rq.ext.ExtractFromBatchOf(s.shedExt, float64(len(qb.Pkts)), float64(qb.Bytes()))
 			}
 			if spiked {
 				// §3.2.4: measurements corrupted by context switches
