@@ -9,6 +9,7 @@
 //	go run ./cmd/benchjson -out BENCH_5.json     # commit a new PR's snapshot
 //	go run ./cmd/benchjson -bench 'Micro' -benchtime 2s -out bench.json
 //	go run ./cmd/benchjson -maxallocs 'BenchmarkMicroFeatureExtraction=0'
+//	go run ./cmd/benchjson -compare BENCH_5.json -regress-allocs 0.1
 //
 // Each PR commits its snapshot under a fresh BENCH_<n>.json (never
 // overwrite an earlier PR's file — the sequence is the perf history).
@@ -17,6 +18,14 @@
 // the benchmark function, without the -cpus suffix) and exits nonzero
 // when any matching benchmark reports more than N allocs/op — the
 // allocation gate CI runs on the extraction fast path.
+//
+// The -compare gate loads an earlier snapshot, prints the per-benchmark
+// ns/op, B/op and allocs/op deltas, and exits nonzero when any
+// benchmark regresses beyond the configured fractional thresholds
+// (-regress-ns, -regress-b, -regress-allocs; a negative threshold
+// disables that dimension — wall clock is disabled by default because
+// shared CI runners make it flaky, while allocation counts are
+// deterministic).
 package main
 
 import (
@@ -60,6 +69,10 @@ func main() {
 	count := flag.Int("count", 1, "passed to go test -count")
 	out := flag.String("out", "-", "output JSON path (default - writes to stdout; commit snapshots as BENCH_<n>.json, one per PR)")
 	maxallocs := flag.String("maxallocs", "", "comma-separated name=N allocation gates (fail if allocs/op exceed N)")
+	compare := flag.String("compare", "", "earlier snapshot to diff against; prints deltas and gates on the -regress-* thresholds")
+	regressNs := flag.Float64("regress-ns", -1, "max allowed fractional ns/op regression vs -compare (negative disables)")
+	regressB := flag.Float64("regress-b", 0.35, "max allowed fractional B/op regression vs -compare (negative disables)")
+	regressAllocs := flag.Float64("regress-allocs", 0.10, "max allowed fractional allocs/op regression vs -compare (negative disables)")
 	pkgs := flag.String("pkgs", ".,./pkg/loadshed,./internal/bitmap,./internal/hash,./internal/features", "comma-separated packages to benchmark")
 	flag.Parse()
 
@@ -105,9 +118,94 @@ func main() {
 		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), *out)
 	}
 
-	if failed := gate(results, *maxallocs); failed {
+	failed := gate(results, *maxallocs)
+	if *compare != "" {
+		old, err := loadSnapshot(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		if compareSnapshots(results, old, *regressNs, *regressB, *regressAllocs) {
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// loadSnapshot reads a committed BENCH_<n>.json.
+func loadSnapshot(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// regressEps absorbs quantization at tiny baselines: a benchmark that
+// reported 0 allocs/op may drift to a fraction of one without that
+// being a meaningful regression, and B/op jitters by a few bytes.
+const (
+	epsNs     = 50.0
+	epsB      = 64.0
+	epsAllocs = 1.0
+)
+
+// compareSnapshots prints the per-benchmark deltas against old and
+// applies the fractional regression thresholds (negative = dimension
+// disabled). It returns true when any gate fails. Benchmarks present
+// only on one side are reported but never fail the gate — the set
+// evolves PR to PR.
+func compareSnapshots(results []Result, old *File, tNs, tB, tAllocs float64) bool {
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	failed := false
+	fmt.Printf("benchjson: comparing against %s (%s)\n", old.Tool, old.Go)
+	fmt.Printf("%-42s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	check := func(name, dim string, now, was, thresh, eps float64) string {
+		delta := fmtDelta(now, was)
+		if thresh >= 0 && now > was*(1+thresh)+eps {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %s regressed %v -> %v (limit +%.0f%%)\n",
+				name, dim, was, now, thresh*100)
+			delta += "!"
+		}
+		return delta
+	}
+	for _, r := range results {
+		p, ok := prev[r.Name]
+		if !ok {
+			fmt.Printf("%-42s %14s %14s %14s  (new)\n", r.Name, "-", "-", "-")
+			continue
+		}
+		delete(prev, r.Name)
+		dNs := check(r.Name, "ns/op", r.NsPerOp, p.NsPerOp, tNs, epsNs)
+		dB := check(r.Name, "B/op", r.BPerOp, p.BPerOp, tB, epsB)
+		dA := check(r.Name, "allocs/op", r.AllocsPerOp, p.AllocsPerOp, tAllocs, epsAllocs)
+		fmt.Printf("%-42s %14s %14s %14s\n", r.Name, dNs, dB, dA)
+	}
+	for name := range prev {
+		fmt.Printf("%-42s %14s %14s %14s  (not run)\n", name, "-", "-", "-")
+	}
+	return failed
+}
+
+// fmtDelta renders a now-vs-was change as a signed percentage.
+func fmtDelta(now, was float64) string {
+	if was == 0 {
+		if now == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("+%.4g", now)
+	}
+	return fmt.Sprintf("%+.1f%%", (now/was-1)*100)
 }
 
 // parse decodes `go test -bench` output: "pkg:" lines set the current

@@ -32,8 +32,17 @@ type H3 struct {
 // built from the same seed are identical; different seeds yield
 // independent functions with overwhelming probability.
 func NewH3(seed uint64) *H3 {
-	rng := NewXorShift(seed)
 	h := &H3{}
+	h.Reseed(seed)
+	return h
+}
+
+// Reseed redraws the function in place from seed: afterwards h is
+// indistinguishable from NewH3(seed). Callers that redraw every
+// measurement interval (the flow sampler, per §4.2) reseed instead of
+// reallocating the 26 KB lookup table each time.
+func (h *H3) Reseed(seed uint64) {
+	rng := NewXorShift(seed)
 	// Draw the 8 rows of Q covering each byte position, then fold them
 	// into the 256-entry lookup table for that position.
 	for pos := 0; pos < KeySize; pos++ {
@@ -51,7 +60,6 @@ func NewH3(seed uint64) *H3 {
 			h.table[pos][v] = acc
 		}
 	}
-	return h
 }
 
 // Hash returns the 64-bit H3 hash of a KeySize-byte key. Keys shorter

@@ -42,6 +42,24 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes m in place to rows×cols with all elements zero,
+// reusing the backing array when its capacity suffices. It is the
+// allocation-free alternative to NewMatrix for callers that solve many
+// systems of varying shape with one long-lived matrix.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		clear(m.Data)
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
 // MulVec returns m · x. It panics if len(x) != m.Cols.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
@@ -67,16 +85,51 @@ type SVDResult struct {
 	V *Matrix
 }
 
+// Workspace holds the scratch buffers of the SVD and least-squares
+// solvers so repeated solves — the MLR predictor refits on every
+// prediction — allocate nothing after the first call. The zero value is
+// ready to use; buffers grow to the largest problem seen and are reused
+// in place. A Workspace is not safe for concurrent use, and the
+// matrices returned by its svd method are owned by the workspace (valid
+// until its next use).
+type Workspace struct {
+	g, u, v, pad Matrix
+	s, rhs       []float64
+}
+
+// GrowFloats returns dst resized to n, reusing capacity when possible.
+// Contents are unspecified; callers overwrite every element. It is the
+// shared grow-scratch helper of the prediction path's in-place solvers.
+func GrowFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
 // SVD computes the thin singular value decomposition of a, which must
 // have Rows >= Cols (the least-squares caller guarantees this by
-// construction; pad with zero rows otherwise).
+// construction; pad with zero rows otherwise). The result owns freshly
+// allocated matrices; use a Workspace for the allocation-free form.
 func SVD(a *Matrix) SVDResult {
+	var ws Workspace
+	return ws.svd(a)
+}
+
+// svd is SVD computing into the workspace's buffers. The returned
+// matrices and singular values alias the workspace and stay valid until
+// its next use.
+func (ws *Workspace) svd(a *Matrix) SVDResult {
 	if a.Rows < a.Cols {
 		panic("linalg: SVD requires rows >= cols")
 	}
 	m, n := a.Rows, a.Cols
-	g := a.Clone() // columns of g are rotated until mutually orthogonal
-	v := NewMatrix(n, n)
+	// Columns of g are rotated until mutually orthogonal.
+	g := &ws.g
+	g.Reshape(m, n)
+	copy(g.Data, a.Data)
+	v := &ws.v
+	v.Reshape(n, n)
 	for i := 0; i < n; i++ {
 		v.Set(i, i, 1)
 	}
@@ -128,8 +181,10 @@ func SVD(a *Matrix) SVDResult {
 
 	// Singular values are the column norms of g; U's columns are the
 	// normalized columns.
-	s := make([]float64, n)
-	u := NewMatrix(m, n)
+	ws.s = GrowFloats(ws.s, n)
+	s := ws.s
+	u := &ws.u
+	u.Reshape(m, n)
 	for j := 0; j < n; j++ {
 		var norm float64
 		for i := 0; i < m; i++ {
@@ -178,6 +233,15 @@ const rcondTol = 1e-10
 // LeastSquares returns the minimum-norm x minimizing ‖A·x − b‖₂, solved
 // through the SVD pseudo-inverse. It panics when len(b) != A.Rows.
 func LeastSquares(a *Matrix, b []float64) []float64 {
+	var ws Workspace
+	return ws.LeastSquares(nil, a, b)
+}
+
+// LeastSquares is the allocation-free form of the package-level
+// LeastSquares: the solve's intermediates live in the workspace and the
+// solution is written into dst (grown only when its capacity is short).
+// The returned slice is the solution; it does not alias the workspace.
+func (ws *Workspace) LeastSquares(dst []float64, a *Matrix, b []float64) []float64 {
 	if len(b) != a.Rows {
 		panic("linalg: LeastSquares dimension mismatch")
 	}
@@ -186,14 +250,18 @@ func LeastSquares(a *Matrix, b []float64) []float64 {
 	if a.Rows < a.Cols {
 		// Pad with zero rows so SVD's thin-shape requirement holds; the
 		// minimum-norm solution is unchanged.
-		work = NewMatrix(a.Cols, a.Cols)
+		work = &ws.pad
+		work.Reshape(a.Cols, a.Cols)
 		copy(work.Data, a.Data)
-		rhs = make([]float64, a.Cols)
+		ws.rhs = GrowFloats(ws.rhs, a.Cols)
+		rhs = ws.rhs
+		clear(rhs)
 		copy(rhs, b)
 	}
-	svd := SVD(work)
+	svd := ws.svd(work)
 	n := work.Cols
-	x := make([]float64, n)
+	x := GrowFloats(dst, n)
+	clear(x)
 	if len(svd.S) == 0 || svd.S[0] == 0 {
 		return x
 	}

@@ -50,11 +50,17 @@ func NewHistory(n int) *History {
 	}
 }
 
-// Add appends an observation, evicting the oldest when full.
+// Add appends an observation, evicting the oldest when full. The vector
+// is copied into a ring slot that is reused across evictions, so a
+// warmed-up history never allocates.
 func (h *History) Add(f features.Vector, cost float64) {
-	cp := make(features.Vector, len(f))
-	copy(cp, f)
-	h.feats[h.next] = cp
+	slot := h.feats[h.next]
+	if cap(slot) < len(f) {
+		slot = make(features.Vector, len(f))
+	}
+	slot = slot[:len(f)]
+	copy(slot, f)
+	h.feats[h.next] = slot
 	h.costs[h.next] = cost
 	h.next = (h.next + 1) % h.capacity
 	if h.next == 0 {
@@ -74,29 +80,41 @@ func (h *History) Len() int {
 func (h *History) Cap() int { return h.capacity }
 
 // Costs returns the stored costs (unspecified order; OLS and Pearson
-// are order-invariant). The returned slice is freshly allocated.
-func (h *History) Costs() []float64 {
+// are order-invariant). The returned slice is freshly allocated; use
+// CostsInto on the hot path.
+func (h *History) Costs() []float64 { return h.CostsInto(nil) }
+
+// CostsInto writes the stored costs into dst (grown only when its
+// capacity is short) and returns it — the allocation-free form of
+// Costs.
+func (h *History) CostsInto(dst []float64) []float64 {
 	n := h.Len()
-	out := make([]float64, n)
-	copy(out, h.costs[:n])
-	return out
+	dst = linalg.GrowFloats(dst, n)
+	copy(dst, h.costs[:n])
+	return dst
 }
 
 // Column returns feature j across the stored observations, matching the
-// order of Costs.
-func (h *History) Column(j int) []float64 {
+// order of Costs. The returned slice is freshly allocated; use
+// ColumnInto on the hot path.
+func (h *History) Column(j int) []float64 { return h.ColumnInto(nil, j) }
+
+// ColumnInto writes feature j across the stored observations into dst
+// (grown only when its capacity is short) and returns it.
+func (h *History) ColumnInto(dst []float64, j int) []float64 {
 	n := h.Len()
-	out := make([]float64, n)
+	dst = linalg.GrowFloats(dst, n)
 	for i := 0; i < n; i++ {
-		out[i] = h.feats[i][j]
+		dst[i] = h.feats[i][j]
 	}
-	return out
+	return dst
 }
 
 // MeanCost returns the average stored cost (0 when empty), the cold
-// start fallback prediction.
+// start fallback prediction. The ring's cost slice is averaged directly
+// (means are order-invariant), so no copy is made.
 func (h *History) MeanCost() float64 {
-	return stats.Mean(h.Costs())
+	return stats.Mean(h.costs[:h.Len()])
 }
 
 // FCBF selects relevant, non-redundant predictors from cols (one slice
@@ -111,11 +129,30 @@ func (h *History) MeanCost() float64 {
 // whose correlation with an earlier survivor exceeds its own
 // correlation with the response.
 func FCBF(cols [][]float64, y []float64, threshold float64) []int {
-	type cand struct {
-		idx int
-		r   float64
-	}
-	var cands []cand
+	var sc fcbfScratch
+	return sc.selectInto(nil, cols, y, threshold)
+}
+
+// fcbfCand is one phase-1 survivor: a feature index and its relevance.
+type fcbfCand struct {
+	idx int
+	r   float64
+}
+
+// fcbfScratch holds the FCBF intermediates so the per-bin refit reuses
+// them instead of allocating. The zero value is ready to use.
+type fcbfScratch struct {
+	cands   []fcbfCand
+	removed []bool
+}
+
+// selectInto is FCBF appending the selected indices to out (usually a
+// reused slice truncated to zero length) with all intermediates taken
+// from the scratch. Same algorithm, same output, no steady-state
+// allocation.
+func (sc *fcbfScratch) selectInto(out []int, cols [][]float64, y []float64, threshold float64) []int {
+	type cand = fcbfCand
+	cands := sc.cands[:0]
 	best := cand{idx: -1}
 	for j, col := range cols {
 		r := stats.Pearson(col, y)
@@ -129,11 +166,12 @@ func FCBF(cols [][]float64, y []float64, threshold float64) []int {
 			cands = append(cands, cand{idx: j, r: r})
 		}
 	}
+	sc.cands = cands
 	if len(cands) == 0 {
 		if best.idx < 0 {
-			return nil
+			return out
 		}
-		return []int{best.idx}
+		return append(out, best.idx)
 	}
 	// Descending relevance (stable on ties by original index).
 	for i := 1; i < len(cands); i++ {
@@ -142,7 +180,11 @@ func FCBF(cols [][]float64, y []float64, threshold float64) []int {
 			cands[k], cands[k-1] = cands[k-1], cands[k]
 		}
 	}
-	removed := make([]bool, len(cands))
+	if cap(sc.removed) < len(cands) {
+		sc.removed = make([]bool, len(cands))
+	}
+	removed := sc.removed[:len(cands)]
+	clear(removed)
 	for i := range cands {
 		if removed[i] {
 			continue
@@ -163,7 +205,6 @@ func FCBF(cols [][]float64, y []float64, threshold float64) []int {
 			}
 		}
 	}
-	var out []int
 	for i, c := range cands {
 		if !removed[i] {
 			out = append(out, c.idx)
@@ -186,6 +227,17 @@ type MLR struct {
 
 	selected []int
 	coef     []float64 // intercept followed by per-selected coefficients
+
+	// Fit scratch, reused across predictions so the per-bin refit is
+	// allocation-free in steady state (§3.1 refits on every prediction;
+	// the thesis requires the prediction subsystem's own overhead to
+	// stay negligible).
+	y      []float64   // response vector
+	colBuf []float64   // flat backing of cols: NumFeatures × n
+	cols   [][]float64 // per-feature views into colBuf
+	fcbf   fcbfScratch
+	a      linalg.Matrix // design matrix, reshaped in place
+	ws     linalg.Workspace
 
 	// Op counters for the overhead accounting of Table 3.4.
 	FCBFOps int64 // scalar multiplies spent in correlation scans
@@ -224,32 +276,47 @@ func (m *MLR) History() *History { return m.hist }
 func (m *MLR) Selected() []int { return m.selected }
 
 // Predict implements Predictor: select features, fit OLS on the current
-// history and evaluate the model at f.
+// history and evaluate the model at f. The refit runs entirely in the
+// predictor's scratch buffers: after warm-up it performs no allocations.
 func (m *MLR) Predict(f features.Vector) float64 {
 	n := m.hist.Len()
 	if n < m.MinHistory {
 		return m.hist.MeanCost()
 	}
-	y := m.hist.Costs()
-	cols := make([][]float64, features.NumFeatures)
-	for j := range cols {
-		cols[j] = m.hist.Column(j)
+	// Scratch is sized for a full history up front so the n = MinHistory
+	// .. capacity ramp-up does not re-grow it at every new length.
+	if cap(m.y) < m.hist.Cap() {
+		m.y = make([]float64, 0, m.hist.Cap())
 	}
-	m.selected = FCBF(cols, y, m.threshold)
+	m.y = m.hist.CostsInto(m.y)
+	y := m.y
+	if cap(m.cols) < features.NumFeatures {
+		m.cols = make([][]float64, features.NumFeatures)
+	}
+	cols := m.cols[:features.NumFeatures]
+	if cap(m.colBuf) < features.NumFeatures*m.hist.Cap() {
+		m.colBuf = make([]float64, features.NumFeatures*m.hist.Cap())
+	}
+	m.colBuf = m.colBuf[:features.NumFeatures*n]
+	for j := range cols {
+		cols[j] = m.hist.ColumnInto(m.colBuf[j*n:j*n:(j+1)*n], j)
+	}
+	m.selected = m.fcbf.selectInto(m.selected[:0], cols, y, m.threshold)
 	m.FCBFOps += int64(n * features.NumFeatures)
 	if len(m.selected) == 0 {
 		return m.hist.MeanCost()
 	}
 
 	p := len(m.selected)
-	a := linalg.NewMatrix(n, p+1)
+	a := &m.a
+	a.Reshape(n, p+1)
 	for i := 0; i < n; i++ {
 		a.Set(i, 0, 1)
 		for k, j := range m.selected {
 			a.Set(i, k+1, cols[j][i])
 		}
 	}
-	m.coef = linalg.LeastSquares(a, y)
+	m.coef = m.ws.LeastSquares(m.coef[:0], a, y)
 	m.FitOps += int64(n * (p + 1) * (p + 1))
 
 	pred := m.coef[0]

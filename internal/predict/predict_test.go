@@ -335,3 +335,36 @@ func BenchmarkMLRPredict(b *testing.B) {
 		m.Predict(f)
 	}
 }
+
+// TestMLRFitZeroAllocSteadyState is the PR 5 allocation guard for the
+// prediction path: once the history ring and the fit scratch are warm,
+// the refit-on-every-prediction loop (Predict + Observe) must not
+// allocate at all.
+func TestMLRFitZeroAllocSteadyState(t *testing.T) {
+	m := NewMLR(DefaultHistory, DefaultThreshold)
+	f := make(features.Vector, features.NumFeatures)
+	rng := hash.NewXorShift(7)
+	fill := func() {
+		for j := range f {
+			f[j] = rng.Float64() * 1000
+		}
+	}
+	// Warm up: fill the ring past capacity and run fits at full history
+	// so every scratch buffer reaches steady-state size.
+	for i := 0; i < DefaultHistory+8; i++ {
+		fill()
+		m.Observe(f, 5000+2*f[features.IdxPackets]+3*f[features.IdxBytes])
+		m.Predict(f)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		fill()
+		m.Predict(f)
+		m.Observe(f, 5000+2*f[features.IdxPackets]+3*f[features.IdxBytes])
+	})
+	if allocs != 0 {
+		t.Fatalf("MLR fit/observe steady-state allocations = %v, want 0", allocs)
+	}
+	if len(m.Selected()) == 0 {
+		t.Fatal("warm MLR selected no features; the guard exercised the cold path only")
+	}
+}

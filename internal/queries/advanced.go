@@ -1,7 +1,8 @@
 package queries
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"repro/internal/bitmap"
@@ -43,6 +44,13 @@ type Autofocus struct {
 	cfg       Config
 	threshold float64
 	table     map[uint32]float64 // per-/32 bytes, scaled
+
+	// Flush-time roll-up scratch, cleared and reused every interval so
+	// the per-flush hierarchy walk stops allocating: rollup[i] holds the
+	// aggregation at levels[i+1] (level 0 is the table itself) and
+	// reported[i] the reported volume by prefix at levels[i].
+	rollup   [3]map[uint32]float64
+	reported [4]map[uint32]float64
 }
 
 // NewAutofocus returns an autofocus query; threshold <= 0 selects
@@ -87,29 +95,47 @@ func (q *Autofocus) Process(b *pkt.Batch, rate float64) Ops {
 
 // Flush implements Query: roll the /32 table up the prefix hierarchy
 // and report clusters whose residual volume exceeds the threshold.
-func (q *Autofocus) Flush() (Result, Ops) {
+func (q *Autofocus) Flush() (Result, Ops) { return q.FlushInto(nil) }
+
+// FlushInto implements ResultRecycler: the roll-up maps are query-owned
+// scratch cleared per interval, the /32 table is cleared in place, and
+// the reported cluster slice reuses prev's storage when given. Reported
+// values are identical to Flush's.
+func (q *Autofocus) FlushInto(prev Result) (Result, Ops) {
+	var clusters []Cluster
+	if p, ok := prev.(AutofocusResult); ok {
+		clusters = p.Clusters[:0]
+	}
 	var total float64
 	for _, v := range q.table {
 		total += v
 	}
 	thresh := q.threshold * total
 
-	levels := []int{32, 24, 16, 8}
-	agg := make([]map[uint32]float64, len(levels))
+	levels := [4]int{32, 24, 16, 8}
+	var agg [4]map[uint32]float64
 	agg[0] = q.table
 	for li := 1; li < len(levels); li++ {
-		agg[li] = make(map[uint32]float64)
+		if q.rollup[li-1] == nil {
+			q.rollup[li-1] = make(map[uint32]float64)
+		} else {
+			clear(q.rollup[li-1])
+		}
+		agg[li] = q.rollup[li-1]
 		mask := prefixMask(levels[li])
 		for ip, v := range agg[li-1] {
 			agg[li][ip&mask] += v
 		}
 	}
 
-	var clusters []Cluster
-	reported := make([]map[uint32]float64, len(levels)) // reported volume by prefix per level
+	reported := &q.reported // reported volume by prefix per level
 	ops := Ops{Flushes: int64(len(q.table))}
 	for li, plen := range levels {
-		reported[li] = make(map[uint32]float64)
+		if reported[li] == nil {
+			reported[li] = make(map[uint32]float64)
+		} else {
+			clear(reported[li])
+		}
 		mask := prefixMask(plen)
 		for prefix, v := range agg[li] {
 			residual := v
@@ -130,16 +156,19 @@ func (q *Autofocus) Flush() (Result, Ops) {
 			}
 		}
 	}
-	sort.Slice(clusters, func(i, j int) bool {
-		if clusters[i].Bytes != clusters[j].Bytes {
-			return clusters[i].Bytes > clusters[j].Bytes
+	slices.SortFunc(clusters, func(a, b Cluster) int {
+		if a.Bytes != b.Bytes {
+			if a.Bytes > b.Bytes {
+				return -1
+			}
+			return 1
 		}
-		if clusters[i].Len != clusters[j].Len {
-			return clusters[i].Len > clusters[j].Len
+		if a.Len != b.Len {
+			return cmp.Compare(b.Len, a.Len)
 		}
-		return clusters[i].Prefix < clusters[j].Prefix
+		return cmp.Compare(a.Prefix, b.Prefix)
 	})
-	q.table = make(map[uint32]float64)
+	clear(q.table)
 	return AutofocusResult{Clusters: clusters, Total: total}, ops
 }
 
@@ -181,7 +210,7 @@ func (q *Autofocus) Error(got, ref Result) float64 {
 }
 
 // Reset implements Query.
-func (q *Autofocus) Reset() { q.table = make(map[uint32]float64) }
+func (q *Autofocus) Reset() { clear(q.table) }
 
 // ---------------------------------------------------------------------
 // super-sources — sources with the largest fan-out ([139], cost: med).
@@ -215,6 +244,13 @@ type SuperSources struct {
 	// single batch's rate is the right corrector.
 	rateSum float64
 	pktSum  float64
+
+	// free pools the per-source bitmaps across intervals (reset, not
+	// reallocated, at flush) and sortScratch the flush-time ranking
+	// buffer; the reported Top is a copy of its head, so the buffer
+	// never escapes into a result.
+	free        []*bitmap.Direct
+	sortScratch []SuperSource
 }
 
 // NewSuperSources returns a super-sources query reporting the top n
@@ -250,7 +286,12 @@ func (q *SuperSources) Process(b *pkt.Batch, rate float64) Ops {
 		ops.Lookups++
 		bm, ok := q.table[p.SrcIP]
 		if !ok {
-			bm = bitmap.NewDirect(512)
+			if n := len(q.free); n > 0 {
+				bm = q.free[n-1]
+				q.free = q.free[:n-1]
+			} else {
+				bm = bitmap.NewDirect(512)
+			}
 			q.table[p.SrcIP] = bm
 			ops.Inserts++
 		}
@@ -261,25 +302,44 @@ func (q *SuperSources) Process(b *pkt.Batch, rate float64) Ops {
 }
 
 // Flush implements Query.
-func (q *SuperSources) Flush() (Result, Ops) {
+func (q *SuperSources) Flush() (Result, Ops) { return q.FlushInto(nil) }
+
+// FlushInto implements ResultRecycler: the ranking is built and sorted
+// in the query's scratch buffer, the reported Top and All reuse prev's
+// storage (fresh when prev is nil), and the per-source bitmaps are
+// reset into the free pool for the next interval. Reported values are
+// identical to Flush's.
+func (q *SuperSources) FlushInto(prev Result) (Result, Ops) {
+	var pr SuperSourcesResult
+	if p, ok := prev.(SuperSourcesResult); ok {
+		pr = p
+	}
 	inv := 1.0
 	if q.pktSum > 0 {
 		if r := q.rateSum / q.pktSum; r > 0 && r < 1 {
 			inv = 1 / r
 		}
 	}
-	all := make(map[uint32]float64, len(q.table))
-	srcs := make([]SuperSource, 0, len(q.table))
+	all := pr.All
+	if all == nil {
+		all = make(map[uint32]float64, len(q.table))
+	} else {
+		clear(all)
+	}
+	srcs := q.sortScratch[:0]
 	for ip, bm := range q.table {
 		f := bm.Estimate() * inv
 		all[ip] = f
 		srcs = append(srcs, SuperSource{IP: ip, FanOut: f})
 	}
-	sort.Slice(srcs, func(i, j int) bool {
-		if srcs[i].FanOut != srcs[j].FanOut {
-			return srcs[i].FanOut > srcs[j].FanOut
+	slices.SortFunc(srcs, func(a, b SuperSource) int {
+		if a.FanOut != b.FanOut {
+			if a.FanOut > b.FanOut {
+				return -1
+			}
+			return 1
 		}
-		return srcs[i].IP < srcs[j].IP
+		return cmp.Compare(a.IP, b.IP)
 	})
 	n := len(srcs)
 	logn := 0
@@ -287,12 +347,17 @@ func (q *SuperSources) Flush() (Result, Ops) {
 		logn++
 	}
 	ops := Ops{Sorts: int64(n * logn), Flushes: int64(n)}
+	q.sortScratch = srcs
 	if n > q.top {
 		srcs = srcs[:q.top]
 	}
-	q.table = make(map[uint32]*bitmap.Direct)
+	for _, bm := range q.table {
+		bm.Reset()
+		q.free = append(q.free, bm)
+	}
+	clear(q.table)
 	q.rateSum, q.pktSum = 0, 0
-	return SuperSourcesResult{Top: srcs, All: all}, ops
+	return SuperSourcesResult{Top: append(pr.Top[:0], srcs...), All: all}, ops
 }
 
 // Error implements Query: the average relative error of the fan-out
@@ -317,6 +382,10 @@ func (q *SuperSources) Error(got, ref Result) float64 {
 
 // Reset implements Query.
 func (q *SuperSources) Reset() {
-	q.table = make(map[uint32]*bitmap.Direct)
+	for _, bm := range q.table {
+		bm.Reset()
+		q.free = append(q.free, bm)
+	}
+	clear(q.table)
 	q.rateSum, q.pktSum = 0, 0
 }

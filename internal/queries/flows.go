@@ -1,7 +1,8 @@
 package queries
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"repro/internal/pkt"
@@ -69,10 +70,12 @@ func (q *Flows) Process(b *pkt.Batch, rate float64) Ops {
 	return ops
 }
 
-// Flush implements Query.
+// Flush implements Query. The flow table is cleared in place: its
+// buckets stay warm for the next interval, so steady-state processing
+// stops paying map-growth allocations every interval.
 func (q *Flows) Flush() (Result, Ops) {
 	n := len(q.table)
-	q.table = make(map[pkt.FlowKey]struct{})
+	clear(q.table)
 	est := q.est
 	q.est = 0
 	return FlowsResult{Flows: est}, Ops{Flushes: int64(n)}
@@ -86,7 +89,7 @@ func (q *Flows) Error(got, ref Result) float64 {
 
 // Reset implements Query.
 func (q *Flows) Reset() {
-	q.table = make(map[pkt.FlowKey]struct{})
+	clear(q.table)
 	q.est = 0
 }
 
@@ -114,6 +117,10 @@ type TopK struct {
 	cfg   Config
 	k     int
 	table map[uint32]float64
+	// scratch is the flush-time ranking buffer; the reported List is a
+	// fresh (or recycled) copy of its head, so the buffer itself never
+	// escapes into a result.
+	scratch []TopKEntry
 }
 
 // NewTopK returns a top-k query; k <= 0 selects DefaultTopK.
@@ -159,16 +166,30 @@ func (q *TopK) Process(b *pkt.Batch, rate float64) Ops {
 }
 
 // Flush implements Query.
-func (q *TopK) Flush() (Result, Ops) {
-	entries := make([]TopKEntry, 0, len(q.table))
+func (q *TopK) Flush() (Result, Ops) { return q.FlushInto(nil) }
+
+// FlushInto implements ResultRecycler: the interval's ranking is built
+// and sorted in the query's scratch buffer, the reported list is copied
+// into prev's storage (fresh when prev is nil) and prev's table becomes
+// the next working table, so two result generations ping-pong with no
+// steady-state allocation. Reported values are identical to Flush's.
+func (q *TopK) FlushInto(prev Result) (Result, Ops) {
+	var pr TopKResult
+	if p, ok := prev.(TopKResult); ok {
+		pr = p
+	}
+	entries := q.scratch[:0]
 	for ip, bytes := range q.table {
 		entries = append(entries, TopKEntry{IP: ip, Bytes: bytes})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Bytes != entries[j].Bytes {
-			return entries[i].Bytes > entries[j].Bytes
+	slices.SortFunc(entries, func(a, b TopKEntry) int {
+		if a.Bytes != b.Bytes {
+			if a.Bytes > b.Bytes {
+				return -1
+			}
+			return 1
 		}
-		return entries[i].IP < entries[j].IP
+		return cmp.Compare(a.IP, b.IP)
 	})
 	// Charge the sort n·log n comparison steps.
 	n := len(entries)
@@ -177,11 +198,18 @@ func (q *TopK) Flush() (Result, Ops) {
 		logn++
 	}
 	ops := Ops{Sorts: int64(n * logn), Flushes: int64(n)}
+	q.scratch = entries
 	if n > q.k {
 		entries = entries[:q.k]
 	}
-	r := TopKResult{List: entries, All: q.table}
-	q.table = make(map[uint32]float64)
+	next := pr.All
+	if next == nil {
+		next = make(map[uint32]float64, len(q.table))
+	} else {
+		clear(next)
+	}
+	r := TopKResult{List: append(pr.List[:0], entries...), All: q.table}
+	q.table = next
 	return r, ops
 }
 
@@ -228,4 +256,4 @@ func (q *TopK) MisrankedPairs(got, ref Result) int {
 }
 
 // Reset implements Query.
-func (q *TopK) Reset() { q.table = make(map[uint32]float64) }
+func (q *TopK) Reset() { clear(q.table) }

@@ -20,8 +20,17 @@ import (
 // aligned with what the traffic generator embeds.
 var p2pSignatures = [][]byte{trace.SigBitTorrent, trace.SigGnutella, trace.SigED2K}
 
-// p2pPorts are the canonical ports used by the fallback heuristic.
-var p2pPorts = map[uint16]bool{6881: true, 6346: true, 4662: true, 1214: true}
+// isP2PPort reports whether p is one of the canonical P2P ports used by
+// the fallback heuristic. It sits on the per-packet path for every
+// custom-shed flow, so it compiles to a handful of compares instead of
+// the map probe (hash, bucket walk, possible cache miss) it replaced.
+func isP2PPort(p uint16) bool {
+	switch p {
+	case 6881, 6346, 4662, 1214:
+		return true
+	}
+	return false
+}
 
 // p2pInspectPackets is how many payload-carrying packets per flow are
 // scanned before the flow is declared non-P2P.
@@ -58,6 +67,27 @@ type P2PDetector struct {
 	inspectFrac  float64
 	sigDetected  float64
 	portDetected float64
+	// free pools flow-state values across intervals; newState refills it
+	// a slab at a time so per-flow state costs one allocation per slab,
+	// and only until the pool reflects the steady-state flow count.
+	free []*p2pFlowState
+}
+
+// p2pStateSlab is how many flow states are allocated at once when the
+// pool runs dry.
+const p2pStateSlab = 64
+
+// newState returns a zeroed flow state from the pool.
+func (q *P2PDetector) newState() *p2pFlowState {
+	if len(q.free) == 0 {
+		slab := make([]p2pFlowState, p2pStateSlab)
+		for i := range slab {
+			q.free = append(q.free, &slab[i])
+		}
+	}
+	st := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	return st
 }
 
 // NewP2PDetector returns a P2P detector.
@@ -119,13 +149,13 @@ func (q *P2PDetector) Process(b *pkt.Batch, _ float64) Ops {
 		ops.Lookups++
 		st, ok := q.flows[k]
 		if !ok {
-			st = &p2pFlowState{}
+			st = q.newState()
 			q.flows[k] = st
 			ops.Inserts++
 			if !q.inspects(k) {
 				// Custom-shed flow: classify by port alone, now.
 				st.decided = true
-				if p2pPorts[p.DstPort] {
+				if isP2PPort(p.DstPort) {
 					st.isP2P = true
 					q.portDetected++
 				}
@@ -156,16 +186,30 @@ func (q *P2PDetector) Process(b *pkt.Batch, _ float64) Ops {
 }
 
 // Flush implements Query.
-func (q *P2PDetector) Flush() (Result, Ops) {
-	detected := make(map[pkt.FlowKey]bool)
+func (q *P2PDetector) Flush() (Result, Ops) { return q.FlushInto(nil) }
+
+// FlushInto implements ResultRecycler: flow states are zeroed back into
+// the pool, the flow table is cleared in place and the detected set
+// reuses prev's map when given. Reported values are identical to
+// Flush's.
+func (q *P2PDetector) FlushInto(prev Result) (Result, Ops) {
+	var detected map[pkt.FlowKey]bool
+	if p, ok := prev.(P2PResult); ok && p.Detected != nil {
+		detected = p.Detected
+		clear(detected)
+	} else {
+		detected = make(map[pkt.FlowKey]bool)
+	}
 	for k, st := range q.flows {
 		if st.isP2P {
 			detected[k] = true
 		}
+		*st = p2pFlowState{}
+		q.free = append(q.free, st)
 	}
 	count := q.sigDetected + q.portDetected
 	n := int64(len(q.flows))
-	q.flows = make(map[pkt.FlowKey]*p2pFlowState)
+	clear(q.flows)
 	q.sigDetected, q.portDetected = 0, 0
 	return P2PResult{Detected: detected, Count: count}, Ops{Flushes: n}
 }
@@ -188,7 +232,11 @@ func (q *P2PDetector) Error(got, ref Result) float64 {
 
 // Reset implements Query.
 func (q *P2PDetector) Reset() {
-	q.flows = make(map[pkt.FlowKey]*p2pFlowState)
+	for _, st := range q.flows {
+		*st = p2pFlowState{}
+		q.free = append(q.free, st)
+	}
+	clear(q.flows)
 	q.sigDetected, q.portDetected = 0, 0
 	q.inspectFrac = 1
 }

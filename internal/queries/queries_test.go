@@ -3,6 +3,7 @@ package queries
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -586,4 +587,118 @@ func BenchmarkFullSetProcess(b *testing.B) {
 			q.Process(&batch, 1)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Allocation-regression guards (the PR 5 analogue of the PR 4
+// extraction guards): the steady-state per-batch path of every query
+// must be allocation-free, and the recycling interval rotation must
+// cost at most the one interface box its Result requires.
+
+// allocBatch generates a realistic payload-bearing batch for the
+// steady-state guards.
+func allocBatch(t testing.TB) *pkt.Batch {
+	t.Helper()
+	g := trace.NewGenerator(trace.Config{
+		Seed: 9, Duration: 2 * time.Second, PacketsPerSec: 20000,
+		Payload: true, P2PFrac: 0.2, ScanFrac: 0.05,
+	})
+	b, ok := g.NextBatch()
+	if !ok || len(b.Pkts) == 0 {
+		t.Fatal("empty benchmark batch")
+	}
+	return &b
+}
+
+func TestQueryProcessZeroAllocSteadyState(t *testing.T) {
+	b := allocBatch(t)
+	for _, q := range FullSet(Config{Seed: 1}) {
+		q := q
+		// Warm up: one full interval cycle populates the tables, the
+		// pools and any scratch at their steady-state sizes, and a second
+		// Process re-fills the cleared tables.
+		q.Process(b, 1)
+		var prev Result
+		if rec, ok := q.(ResultRecycler); ok {
+			prev, _ = rec.FlushInto(nil)
+			_ = prev
+		} else {
+			q.Flush()
+		}
+		q.Process(b, 1)
+		allocs := testing.AllocsPerRun(10, func() {
+			q.Process(b, 1)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Process steady-state allocations = %v, want 0", q.Name(), allocs)
+		}
+	}
+}
+
+func TestQueryFlushIntoRecyclesStorage(t *testing.T) {
+	b := allocBatch(t)
+	for _, q := range FullSet(Config{Seed: 2}) {
+		rec, ok := q.(ResultRecycler)
+		if !ok {
+			continue
+		}
+		// Warm up two result generations so the ping-pong storage exists.
+		q.Process(b, 1)
+		prev, _ := rec.FlushInto(nil)
+		q.Process(b, 1)
+		prev, _ = rec.FlushInto(prev)
+		// Steady state: one interval rotation may cost only the interface
+		// box of the returned Result (its maps and slices are recycled).
+		allocs := testing.AllocsPerRun(10, func() {
+			q.Process(b, 1)
+			prev, _ = rec.FlushInto(prev)
+		})
+		if allocs > 1 {
+			t.Errorf("%s: FlushInto interval rotation allocations = %v, want <= 1", q.Name(), allocs)
+		}
+	}
+}
+
+// TestFlushIntoMatchesFlush pins the recycling contract: for the same
+// traffic, FlushInto must report exactly the values Flush does.
+func TestFlushIntoMatchesFlush(t *testing.T) {
+	b := allocBatch(t)
+	mk := func(seed uint64) []Query { return FullSet(Config{Seed: seed}) }
+	plain := mk(3)
+	recyc := mk(3)
+	var prevs []Result
+	for round := 0; round < 3; round++ {
+		for i := range plain {
+			plain[i].Process(b, 1)
+			recyc[i].Process(b, 1)
+		}
+		if round == 0 {
+			prevs = make([]Result, len(plain))
+		}
+		for i := range plain {
+			want, wops := plain[i].Flush()
+			rec, ok := recyc[i].(ResultRecycler)
+			if !ok {
+				got, gops := recyc[i].Flush()
+				if !resultsEqual(got, want) || gops != wops {
+					t.Fatalf("%s round %d: Flush diverged", plain[i].Name(), round)
+				}
+				continue
+			}
+			got, gops := rec.FlushInto(prevs[i])
+			prevs[i] = got
+			if gops != wops {
+				t.Fatalf("%s round %d: ops diverged: %+v vs %+v", plain[i].Name(), round, gops, wops)
+			}
+			if !resultsEqual(got, want) {
+				t.Fatalf("%s round %d: FlushInto result diverged from Flush", plain[i].Name(), round)
+			}
+		}
+	}
+}
+
+// resultsEqual compares two query results structurally; map iteration
+// order and backing storage are irrelevant by construction.
+func resultsEqual(a, b Result) bool {
+	return reflect.DeepEqual(a, b)
 }

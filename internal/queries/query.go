@@ -117,6 +117,17 @@ type Query interface {
 	Reset()
 }
 
+// ResultRecycler is an optional Query extension for consumers that do
+// not retain interval results: FlushInto is Flush reusing the storage
+// (maps, slices) of a previous interval's result for the new one. prev
+// must be a Result previously returned by this query — after the call
+// it must no longer be read — or nil, which makes FlushInto equivalent
+// to Flush. The reported values are identical either way; only the
+// backing storage differs.
+type ResultRecycler interface {
+	FlushInto(prev Result) (Result, Ops)
+}
+
 // Config carries the tunables shared by query constructors.
 type Config struct {
 	Interval time.Duration // measurement interval; 1 s if zero

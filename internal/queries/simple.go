@@ -249,7 +249,7 @@ func (q *HighWatermark) Flush() (Result, Ops) {
 		}
 	}
 	n := int64(len(q.buckets))
-	q.buckets = make(map[int64]float64)
+	clear(q.buckets)
 	return HighWatermarkResult{WatermarkBytes: wm}, Ops{Flushes: n}
 }
 
@@ -260,4 +260,4 @@ func (q *HighWatermark) Error(got, ref Result) float64 {
 }
 
 // Reset implements Query.
-func (q *HighWatermark) Reset() { q.buckets = make(map[int64]float64) }
+func (q *HighWatermark) Reset() { clear(q.buckets) }

@@ -57,7 +57,8 @@ func NewPacketSampler(seed uint64) *PacketSampler {
 // rate >= 1 returns the input slice itself (no copy — shedding nothing
 // is free), so the result may alias the caller's batch; consistent with
 // the trace.Source ownership contract, treat both as read-only. A rate
-// <= 0 selects nothing.
+// <= 0 selects nothing. Use SampleInto on the hot path to avoid the
+// per-call allocation.
 func (s *PacketSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate >= 1 {
 		return pkts
@@ -65,13 +66,29 @@ func (s *PacketSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate <= 0 {
 		return nil
 	}
-	out := make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1)
+	return s.SampleInto(make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1), pkts, rate)
+}
+
+// SampleInto is Sample writing the selection into dst (truncated, grown
+// only when capacity runs out) — the allocation-free form for callers
+// that own a per-sampler scratch slice. The RNG draw sequence, and
+// therefore the selection, is identical to Sample's: one draw per input
+// packet when 0 < rate < 1, none otherwise. A rate >= 1 returns the
+// input slice itself, bypassing dst.
+func (s *PacketSampler) SampleInto(dst []pkt.Packet, pkts []pkt.Packet, rate float64) []pkt.Packet {
+	if rate >= 1 {
+		return pkts
+	}
+	dst = dst[:0]
+	if rate <= 0 {
+		return dst
+	}
 	for i := range pkts {
 		if s.rng.Float64() < rate {
-			out = append(out, pkts[i])
+			dst = append(dst, pkts[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // FlowSampler implements Flowwise sampling: a packet is selected when
@@ -94,10 +111,13 @@ func NewFlowSampler(seed uint64) *FlowSampler {
 }
 
 // StartInterval re-draws the hash function for a new measurement
-// interval.
+// interval, reseeding the existing table in place.
 func (s *FlowSampler) StartInterval() {
 	s.interval++
-	s.h = hash.NewH3(s.seed + s.interval*0x9e3779b97f4a7c15)
+	if s.h == nil {
+		s.h = new(hash.H3)
+	}
+	s.h.Reseed(s.seed + s.interval*0x9e3779b97f4a7c15)
 }
 
 // Keep reports whether the flow of p is selected at the given rate.
@@ -114,7 +134,8 @@ func (s *FlowSampler) Keep(p *pkt.Packet, rate float64) bool {
 
 // Sample returns the packets of b whose flows are selected at the given
 // rate. Like PacketSampler.Sample, a rate >= 1 aliases the input slice;
-// treat both as read-only.
+// treat both as read-only. Use SampleInto on the hot path to avoid the
+// per-call allocation.
 func (s *FlowSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate >= 1 {
 		return pkts
@@ -122,11 +143,26 @@ func (s *FlowSampler) Sample(pkts []pkt.Packet, rate float64) []pkt.Packet {
 	if rate <= 0 {
 		return nil
 	}
-	out := make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1)
+	return s.SampleInto(make([]pkt.Packet, 0, int(float64(len(pkts))*rate)+1), pkts, rate)
+}
+
+// SampleInto is Sample writing the selection into dst (truncated, grown
+// only when capacity runs out) — the allocation-free form for callers
+// that own a per-sampler scratch slice. Selection is hash-based and
+// stateless per packet, so it is identical to Sample's. A rate >= 1
+// returns the input slice itself, bypassing dst.
+func (s *FlowSampler) SampleInto(dst []pkt.Packet, pkts []pkt.Packet, rate float64) []pkt.Packet {
+	if rate >= 1 {
+		return pkts
+	}
+	dst = dst[:0]
+	if rate <= 0 {
+		return dst
+	}
 	for i := range pkts {
 		if s.Keep(&pkts[i], rate) {
-			out = append(out, pkts[i])
+			dst = append(dst, pkts[i])
 		}
 	}
-	return out
+	return dst
 }

@@ -190,3 +190,58 @@ func BenchmarkFlowSample(b *testing.B) {
 		fs.Sample(in, 0.5)
 	}
 }
+
+// TestSampleIntoZeroAllocSteadyState is the PR 5 allocation guard for
+// the samplers: with a warmed caller-owned scratch, SampleInto must not
+// allocate, and it must select exactly the packets Sample does.
+func TestSampleIntoZeroAllocSteadyState(t *testing.T) {
+	pkts := genPackets(4096)
+	ps := NewPacketSampler(5)
+	var dst []pkt.Packet
+	dst = ps.SampleInto(dst, pkts, 0.4) // warm up the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = ps.SampleInto(dst, pkts, 0.4)
+	})
+	if allocs != 0 {
+		t.Fatalf("PacketSampler.SampleInto steady-state allocations = %v, want 0", allocs)
+	}
+
+	fs := NewFlowSampler(5)
+	var fdst []pkt.Packet
+	fdst = fs.SampleInto(fdst, pkts, 0.4)
+	allocs = testing.AllocsPerRun(20, func() {
+		fdst = fs.SampleInto(fdst, pkts, 0.4)
+	})
+	if allocs != 0 {
+		t.Fatalf("FlowSampler.SampleInto steady-state allocations = %v, want 0", allocs)
+	}
+}
+
+// TestSampleIntoMatchesSample pins the equivalence contract: same RNG
+// stream, same selection.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	pkts := genPackets(2048)
+	for _, rate := range []float64{-0.1, 0, 0.25, 0.7, 1, 1.5} {
+		a, b := NewPacketSampler(9), NewPacketSampler(9)
+		var dst []pkt.Packet
+		for round := 0; round < 3; round++ {
+			want := a.Sample(pkts, rate)
+			dst = b.SampleInto(dst, pkts, rate)
+			if len(want) != len(dst) {
+				t.Fatalf("rate %v round %d: lengths %d vs %d", rate, round, len(want), len(dst))
+			}
+			for i := range want {
+				if want[i].SrcIP != dst[i].SrcIP || want[i].DstIP != dst[i].DstIP ||
+					want[i].SrcPort != dst[i].SrcPort || want[i].Ts != dst[i].Ts {
+					t.Fatalf("rate %v round %d: packet %d differs", rate, round, i)
+				}
+			}
+		}
+		fa, fb := NewFlowSampler(9), NewFlowSampler(9)
+		want := fa.Sample(pkts, rate)
+		dst = fb.SampleInto(dst, pkts, rate)
+		if len(want) != len(dst) {
+			t.Fatalf("flow rate %v: lengths %d vs %d", rate, len(want), len(dst))
+		}
+	}
+}

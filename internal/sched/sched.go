@@ -21,7 +21,7 @@ package sched
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Demand describes one query's state for a scheduling decision.
@@ -44,21 +44,70 @@ type Strategy interface {
 	Allocate(demands []Demand, capacity float64) []Allocation
 }
 
+// Workspace holds the scratch buffers of an allocation decision so a
+// per-bin caller (the load shedding engine decides every 100 ms)
+// allocates nothing in steady state. The zero value is ready to use; a
+// Workspace is not safe for concurrent use.
+type Workspace struct {
+	out    []Allocation
+	active []bool
+	items  []minItem
+}
+
+func (ws *Workspace) allocations(n int) []Allocation {
+	if cap(ws.out) < n {
+		ws.out = make([]Allocation, n)
+	}
+	out := ws.out[:n]
+	clear(out)
+	return out
+}
+
+// mask returns a length-n boolean scratch with unspecified contents;
+// callers initialize every element.
+func (ws *Workspace) mask(n int) []bool {
+	if cap(ws.active) < n {
+		ws.active = make([]bool, n)
+	}
+	return ws.active[:n]
+}
+
+// AllocateInto is s.Allocate with every intermediate — the result
+// slice included — taken from ws. The returned slice is owned by ws and
+// valid until its next use. Strategies outside this package fall back
+// to a plain Allocate call.
+func AllocateInto(s Strategy, demands []Demand, capacity float64, ws *Workspace) []Allocation {
+	switch st := s.(type) {
+	case EqualRates:
+		return st.allocate(demands, capacity, ws)
+	case MMFSCPU:
+		return st.allocate(demands, capacity, ws)
+	case MMFSPkt:
+		return st.allocate(demands, capacity, ws)
+	default:
+		return s.Allocate(demands, capacity)
+	}
+}
+
+type minItem struct {
+	idx int
+	min float64
+}
+
 // disableLargest deactivates queries until the remaining minimum
 // demands fit in the capacity; it returns the active set as a boolean
-// mask. Queries with the largest m_q·d̂_q go first, which penalizes
-// over-claiming (§5.2.1).
-func disableLargest(demands []Demand, capacity float64) []bool {
-	active := make([]bool, len(demands))
-	type item struct {
-		idx int
-		min float64
+// mask (owned by ws). Queries with the largest m_q·d̂_q go first, which
+// penalizes over-claiming (§5.2.1).
+func disableLargest(demands []Demand, capacity float64, ws *Workspace) []bool {
+	active := ws.mask(len(demands))
+	if cap(ws.items) < len(demands) {
+		ws.items = make([]minItem, len(demands))
 	}
-	items := make([]item, len(demands))
+	items := ws.items[:len(demands)]
 	var sum float64
 	for i, d := range demands {
 		active[i] = true
-		items[i] = item{idx: i, min: d.MinRate * d.Cycles}
+		items[i] = minItem{idx: i, min: d.MinRate * d.Cycles}
 		sum += items[i].min
 	}
 	if sum <= capacity {
@@ -66,15 +115,21 @@ func disableLargest(demands []Demand, capacity float64) []bool {
 	}
 	// Largest minimum demand first; ties broken by name then index for
 	// determinism.
-	sort.Slice(items, func(a, b int) bool {
-		if items[a].min != items[b].min {
-			return items[a].min > items[b].min
+	slices.SortFunc(items, func(a, b minItem) int {
+		if a.min != b.min {
+			if a.min > b.min {
+				return -1
+			}
+			return 1
 		}
-		na, nb := demands[items[a].idx].Name, demands[items[b].idx].Name
+		na, nb := demands[a.idx].Name, demands[b.idx].Name
 		if na != nb {
-			return na > nb
+			if na > nb {
+				return -1
+			}
+			return 1
 		}
-		return items[a].idx > items[b].idx
+		return b.idx - a.idx
 	})
 	for _, it := range items {
 		if sum <= capacity {
@@ -104,8 +159,13 @@ func (s EqualRates) Name() string {
 
 // Allocate implements Strategy.
 func (s EqualRates) Allocate(demands []Demand, capacity float64) []Allocation {
-	out := make([]Allocation, len(demands))
-	active := make([]bool, len(demands))
+	var ws Workspace
+	return s.allocate(demands, capacity, &ws)
+}
+
+func (s EqualRates) allocate(demands []Demand, capacity float64, ws *Workspace) []Allocation {
+	out := ws.allocations(len(demands))
+	active := ws.mask(len(demands))
 	for i := range active {
 		active[i] = true
 	}
@@ -160,9 +220,14 @@ type MMFSCPU struct{}
 func (MMFSCPU) Name() string { return "mmfs_cpu" }
 
 // Allocate implements Strategy.
-func (MMFSCPU) Allocate(demands []Demand, capacity float64) []Allocation {
-	out := make([]Allocation, len(demands))
-	active := disableLargest(demands, capacity)
+func (s MMFSCPU) Allocate(demands []Demand, capacity float64) []Allocation {
+	var ws Workspace
+	return s.allocate(demands, capacity, &ws)
+}
+
+func (MMFSCPU) allocate(demands []Demand, capacity float64, ws *Workspace) []Allocation {
+	out := ws.allocations(len(demands))
+	active := disableLargest(demands, capacity, ws)
 
 	var sumFull, hi float64
 	for i, d := range demands {
@@ -219,9 +284,14 @@ type MMFSPkt struct{}
 func (MMFSPkt) Name() string { return "mmfs_pkt" }
 
 // Allocate implements Strategy.
-func (MMFSPkt) Allocate(demands []Demand, capacity float64) []Allocation {
-	out := make([]Allocation, len(demands))
-	active := disableLargest(demands, capacity)
+func (s MMFSPkt) Allocate(demands []Demand, capacity float64) []Allocation {
+	var ws Workspace
+	return s.allocate(demands, capacity, &ws)
+}
+
+func (MMFSPkt) allocate(demands []Demand, capacity float64, ws *Workspace) []Allocation {
+	out := ws.allocations(len(demands))
+	active := disableLargest(demands, capacity, ws)
 
 	var sumFull float64
 	for i, d := range demands {

@@ -10,7 +10,31 @@ package stats
 import (
 	"math"
 	"sort"
+	"sync"
 )
+
+// sortBufs recycles the scratch slices Percentile, Median, CDF and
+// Summarize sort into. The functions stay pure (inputs are never
+// reordered) but repeated calls — the experiment harness summarizes
+// thousands of per-bin series — stop churning the heap.
+var sortBufs = sync.Pool{New: func() any { return new([]float64) }}
+
+// sortedCopy returns a pooled sorted copy of xs; callers must hand the
+// pointer back with putSorted when done reading.
+func sortedCopy(xs []float64) *[]float64 {
+	p := sortBufs.Get().(*[]float64)
+	cp := *p
+	if cap(cp) < len(xs) {
+		cp = make([]float64, len(xs))
+	}
+	cp = cp[:len(xs)]
+	copy(cp, xs)
+	sort.Float64s(cp)
+	*p = cp
+	return p
+}
+
+func putSorted(p *[]float64) { sortBufs.Put(p) }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
@@ -81,15 +105,15 @@ func Sum(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
-// linear interpolation between closest ranks. It copies and sorts the
-// input. An empty input yields 0.
+// linear interpolation between closest ranks. It sorts a pooled copy of
+// the input, leaving xs untouched. An empty input yields 0.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
+	buf := sortedCopy(xs)
+	defer putSorted(buf)
+	cp := *buf
 	if p <= 0 {
 		return cp[0]
 	}
@@ -198,9 +222,9 @@ func CDF(xs []float64) []CDFPoint {
 	if len(xs) == 0 {
 		return nil
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
+	buf := sortedCopy(xs)
+	defer putSorted(buf)
+	cp := *buf
 	out := make([]CDFPoint, len(cp))
 	n := float64(len(cp))
 	for i, x := range cp {

@@ -200,6 +200,15 @@ type Generator struct {
 
 	burstLeft   int     // bins remaining in the current flash burst
 	burstfactor float64 // load multiplier of the current burst
+
+	// free pools retired flow states (a finished flow's struct is reused
+	// by a later spawn) and pktCap predicts the next batch's size from
+	// the previous one's, so steady-state generation costs one
+	// right-sized packet-slice allocation per batch and no per-flow
+	// ones. Neither affects the generated traffic: recycled flows are
+	// zero-reset and capacity is invisible to consumers.
+	free   []*genFlow
+	pktCap int
 }
 
 // NewGenerator returns a generator for the given config.
@@ -238,6 +247,7 @@ func (g *Generator) TimeBin() time.Duration { return g.cfg.TimeBin }
 func (g *Generator) Reset() {
 	g.rng = hash.NewXorShift(g.cfg.Seed + 0x5ca1ab1e)
 	g.zipf = rand.NewZipf(rand.New(hash.NewXorShift(g.cfg.Seed+0x21bf)), g.cfg.ZipfS, 1, uint64(g.cfg.Servers-1))
+	g.free = append(g.free, g.active...) // abandoned flows are reusable
 	g.active = g.active[:0]
 	heap.Init(&g.active)
 	g.bin = 0
@@ -312,8 +322,15 @@ func (g *Generator) NextBatch() (pkt.Batch, bool) {
 		heap.Push(&g.active, f)
 	}
 
-	// Drain every packet due before the end of the bin.
+	// Drain every packet due before the end of the bin. The slice is
+	// sized from the previous batch (traffic is locally stationary, so
+	// that is a tight predictor even across bursts) and handed off to
+	// the consumer: batches may be recorded and retained, so the backing
+	// array cannot be reused — only the flow states can.
 	b := pkt.Batch{Start: t0, Bin: g.cfg.TimeBin}
+	if g.pktCap > 0 {
+		b.Pkts = make([]pkt.Packet, 0, g.pktCap+g.pktCap/8+1)
+	}
 	for g.active.Len() > 0 && g.active[0].next < t1 {
 		f := heap.Pop(&g.active).(*genFlow)
 		b.Pkts = append(b.Pkts, g.makePacket(f))
@@ -321,15 +338,19 @@ func (g *Generator) NextBatch() (pkt.Batch, bool) {
 		if f.remaining > 0 {
 			f.next += time.Duration(g.rng.Exp(1/f.gap) * float64(time.Second))
 			heap.Push(&g.active, f)
+		} else {
+			g.free = append(g.free, f)
 		}
 	}
-
 	// Anomalies on top, then restore time order.
 	for i, a := range g.cfg.Anomalies {
 		arng := hash.NewXorShift(g.cfg.Seed ^ (uint64(g.bin)+1)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xc2b2ae3d27d4eb4f)
 		b.Pkts = a.Inject(t0, t1, arng, b.Pkts)
 	}
 	sortBatch(&b)
+	// Record the size prediction after anomaly injection, so bursty bins
+	// presize for the attack traffic too.
+	g.pktCap = len(b.Pkts)
 
 	g.bin++
 	return b, true
@@ -394,7 +415,14 @@ func (g *Generator) flowLen(mean float64) int {
 func (g *Generator) spawnFlow() *genFlow {
 	c := g.cfg
 	u := g.rng.Float64()
-	f := &genFlow{first: true, proto: pkt.ProtoTCP}
+	var f *genFlow
+	if n := len(g.free); n > 0 {
+		f = g.free[n-1]
+		g.free = g.free[:n-1]
+		*f = genFlow{first: true, proto: pkt.ProtoTCP}
+	} else {
+		f = &genFlow{first: true, proto: pkt.ProtoTCP}
+	}
 	switch {
 	case u < c.ScanFrac:
 		f.class = classScan

@@ -13,7 +13,8 @@
 package trace
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"repro/internal/pkt"
@@ -99,7 +100,9 @@ func Record(src Source) []pkt.Batch {
 // packets out of order and queries such as high-watermark assume
 // time-ordered delivery.
 func sortBatch(b *pkt.Batch) {
-	sort.SliceStable(b.Pkts, func(i, j int) bool { return b.Pkts[i].Ts < b.Pkts[j].Ts })
+	// Stable sort, so packets of equal timestamp keep generation order;
+	// the generic form avoids sort.SliceStable's per-call boxing.
+	slices.SortStableFunc(b.Pkts, func(x, y pkt.Packet) int { return cmp.Compare(x.Ts, y.Ts) })
 }
 
 // Stats summarizes a trace the way Table 2.3 reports its datasets.

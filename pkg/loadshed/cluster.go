@@ -146,6 +146,11 @@ type clusterShard struct {
 type Cluster struct {
 	cfg    ClusterConfig
 	shards []*clusterShard
+
+	// Per-bin coordination scratch (cluster goroutine only).
+	activeBuf []*clusterShard
+	demandBuf []sched.Demand
+	schedWs   sched.Workspace
 }
 
 // NewCluster builds a cluster of fresh Systems, one per shard. Each
@@ -274,7 +279,7 @@ func (c *Cluster) coordinate() {
 	if c.cfg.ShardPolicy == nil || math.IsInf(c.cfg.TotalCapacity, 1) {
 		return // static split: initial equal capacities stand
 	}
-	var active []*clusterShard
+	active := c.activeBuf[:0]
 	for _, sh := range c.shards {
 		if sh.done {
 			continue
@@ -282,15 +287,19 @@ func (c *Cluster) coordinate() {
 		sh.observeDemand(c.cfg.DemandAlpha)
 		active = append(active, sh)
 	}
+	c.activeBuf = active
 	if len(active) == 0 {
 		return
 	}
 	total := c.cfg.TotalCapacity
-	demands := make([]sched.Demand, len(active))
+	if cap(c.demandBuf) < len(active) {
+		c.demandBuf = make([]sched.Demand, len(active))
+	}
+	demands := c.demandBuf[:len(active)]
 	for i, sh := range active {
 		demands[i] = sched.Demand{Name: sh.name, Cycles: sh.demand, MinRate: sh.minShare}
 	}
-	allocs := c.cfg.ShardPolicy.Allocate(demands, total)
+	allocs := sched.AllocateInto(c.cfg.ShardPolicy, demands, total, &c.schedWs)
 	// Floor at 1% of an equal share: a shard the policy zeroed out
 	// (disabled largest-first under extreme pressure) must still drain
 	// its backlog accounting rather than divide by nothing. Floors are

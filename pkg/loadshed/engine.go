@@ -42,6 +42,7 @@ import (
 	"repro/internal/custom"
 	"repro/internal/features"
 	"repro/internal/hash"
+	"repro/internal/pkt"
 	"repro/internal/predict"
 	"repro/internal/queries"
 	"repro/internal/sampling"
@@ -229,6 +230,16 @@ type runQuery struct {
 	psamp *sampling.PacketSampler
 	noise *hash.XorShift // measurement-noise stream, private per query
 	shed  *custom.State  // non-nil when the query supports custom shedding
+
+	// sampBuf is the query's sampling scratch: SampleInto fills it with
+	// the shed stream each bin (worker-pool safe — the owning worker is
+	// the only writer, and the slice is dead once Process returns).
+	sampBuf []pkt.Packet
+	// qbatch is the batch view handed to Process. It lives on the
+	// runQuery because &qbatch escapes through the Query interface;
+	// keeping it here makes that escape a one-time cost instead of a
+	// per-bin heap allocation.
+	qbatch pkt.Batch
 }
 
 // System runs monitoring experiments. Construct with New, call Run.
@@ -247,6 +258,25 @@ type System struct {
 	reactiveRate  float64
 	reactiveDelay float64 // previous bin's overshoot (Eq. 4.1's delay)
 	lastConsumed  float64
+
+	// recycle is set per run when the sink is transient (see
+	// TransientSink): the engine then reuses per-bin Stats slices and
+	// per-interval result storage instead of allocating fresh ones.
+	recycle bool
+
+	// Per-bin scratch, written only by the pipeline goroutine between
+	// worker-pool drains: the reused BinContext, the predictive demand
+	// vector and the shed-stream re-extraction sample. execFn is the
+	// worker-pool closure over the reused context, built once instead of
+	// per bin.
+	bc        BinContext
+	execFn    func(int)
+	demandBuf []sched.Demand
+	schedWs   sched.Workspace
+	shedBuf   []pkt.Packet
+	// prevIvr recycles the interval result storage when the sink is
+	// transient; index-aligned with qs.
+	prevIvr []queries.Result
 }
 
 // New builds a system around the given fresh query instances. All
@@ -352,6 +382,8 @@ type runner struct {
 	curInterval     int
 	bin             int
 	lastBin         BinStats // most recent bin, read by the cluster coordinator
+	batch           pkt.Batch
+	lastIvr         IntervalResults // most recent flush; here because &lastIvr escapes to the sink
 }
 
 // newRunner resets the source and queries, announces the initial query
@@ -362,6 +394,14 @@ func (s *System) newRunner(src trace.Source, sink Sink) *runner {
 	if sink == nil {
 		sink = DiscardSink{}
 	}
+	if !s.recycle {
+		// The previous run of this System (if any) retained its records:
+		// the last BinStats it delivered still references bc.Stats'
+		// slices, so they must not be harvested for reuse by a
+		// transient-sink run that follows on the same System.
+		s.bc.Stats.Rates, s.bc.Stats.QueryUsed, s.bc.Stats.QueryPred = nil, nil, nil
+	}
+	s.recycle = sinkIsTransient(sink)
 	for i, rq := range s.qs {
 		rq.q.Reset()
 		sink.OnQuery(i, rq.q.Name())
@@ -381,6 +421,7 @@ func (r *runner) step() bool {
 	if !ok {
 		return false
 	}
+	r.batch = b
 	s := r.s
 	// Measurement interval boundary: flush results, rotate hashes. This
 	// must happen before mid-run arrivals join — a query arriving exactly
@@ -388,8 +429,8 @@ func (r *runner) step() bool {
 	// first bin, not to the closing one (where it would be flushed with a
 	// spurious empty report it never saw traffic for).
 	if iv := r.bin / r.binsPerInterval; iv != r.curInterval {
-		ivr := s.flush(r.curInterval)
-		r.sink.OnInterval(&ivr)
+		r.lastIvr = s.flush(r.curInterval)
+		r.sink.OnInterval(&r.lastIvr)
 		r.curInterval = iv
 		s.startInterval()
 	}
@@ -399,7 +440,7 @@ func (r *runner) step() bool {
 			r.sink.OnQuery(len(s.qs)-1, s.qs[len(s.qs)-1].q.Name())
 		}
 	}
-	r.lastBin = s.step(r.bin, &b)
+	r.lastBin = s.step(r.bin, &r.batch)
 	r.sink.OnBin(&r.lastBin)
 	if s.cfg.Probe != nil {
 		s.cfg.Probe(r.bin)
@@ -410,8 +451,8 @@ func (r *runner) step() bool {
 
 // finish flushes the last open interval into the sink.
 func (r *runner) finish() {
-	ivr := r.s.flush(r.curInterval)
-	r.sink.OnInterval(&ivr)
+	r.lastIvr = r.s.flush(r.curInterval)
+	r.sink.OnInterval(&r.lastIvr)
 }
 
 // Stream replays src through the system, delivering every BinStats and
@@ -464,10 +505,30 @@ func (s *System) startInterval() {
 // flush ends a measurement interval: every query reports. Flush work
 // happens in CoMo's export process, outside the capture loop's budget,
 // so its cost is recorded for reporting but not charged to a bin.
+//
+// With a transient sink the previous interval's results are dead by
+// now, so their storage is handed back to each recycling query via
+// FlushInto and the Results slice itself is reused; otherwise every
+// flush allocates fresh results the consumer may keep forever.
 func (s *System) flush(idx int) IntervalResults {
-	out := IntervalResults{Index: idx, Results: make([]queries.Result, len(s.qs))}
+	nq := len(s.qs)
+	out := IntervalResults{Index: idx}
+	if s.recycle {
+		for len(s.prevIvr) < nq {
+			s.prevIvr = append(s.prevIvr, nil)
+		}
+		out.Results = s.prevIvr[:nq]
+	} else {
+		out.Results = make([]queries.Result, nq)
+	}
 	for i, rq := range s.qs {
-		r, ops := rq.q.Flush()
+		var r queries.Result
+		var ops queries.Ops
+		if rec, ok := rq.q.(queries.ResultRecycler); ok && s.recycle {
+			r, ops = rec.FlushInto(out.Results[i])
+		} else {
+			r, ops = rq.q.Flush()
+		}
 		out.Results[i] = r
 		out.ExportCycles += s.cfg.Cost.Cycles(ops)
 	}

@@ -33,6 +33,30 @@ type Sink interface {
 	OnInterval(iv *IntervalResults)
 }
 
+// TransientSink is an optional Sink capability: a transient sink
+// promises that when its callbacks return it retains nothing reachable
+// from the records — no slice, map or pointer, only copied values. When
+// a run's sink is transient the engine recycles the per-bin slices of
+// BinStats and the per-interval result storage (via
+// queries.ResultRecycler) instead of allocating fresh ones each time,
+// which is what makes an indefinite Stream allocation-free in steady
+// state. A sink that does retain records (the Run path's collector, any
+// ad-hoc SinkFuncs) simply does not implement the interface and the
+// engine allocates as before.
+type TransientSink interface {
+	Sink
+	// SinkTransient reports whether the sink is currently transient. A
+	// Tee is transient only when every member is.
+	SinkTransient() bool
+}
+
+// sinkIsTransient reports whether the engine may recycle record storage
+// delivered to s.
+func sinkIsTransient(s Sink) bool {
+	t, ok := s.(TransientSink)
+	return ok && t.SinkTransient()
+}
+
 // DiscardSink drops every record: Stream with a DiscardSink runs the
 // engine purely for its side effects (probes, custom-shedding audits).
 type DiscardSink struct{}
@@ -40,6 +64,9 @@ type DiscardSink struct{}
 func (DiscardSink) OnQuery(int, string)         {}
 func (DiscardSink) OnBin(*BinStats)             {}
 func (DiscardSink) OnInterval(*IntervalResults) {}
+
+// SinkTransient implements TransientSink: nothing is retained at all.
+func (DiscardSink) SinkTransient() bool { return true }
 
 // SinkFuncs adapts bare functions to a Sink; nil fields are skipped.
 type SinkFuncs struct {
@@ -90,6 +117,17 @@ func (t teeSink) OnInterval(iv *IntervalResults) {
 	for _, s := range t {
 		s.OnInterval(iv)
 	}
+}
+
+// SinkTransient implements TransientSink: a Tee is transient only when
+// every member is.
+func (t teeSink) SinkTransient() bool {
+	for _, s := range t {
+		if !sinkIsTransient(s) {
+			return false
+		}
+	}
+	return true
 }
 
 // resultSink accumulates the full record — the legacy Run path.
@@ -175,6 +213,11 @@ func (r *RollingStats) OnInterval(iv *IntervalResults) {
 	r.intervals++
 	r.exportCycles += iv.ExportCycles
 }
+
+// SinkTransient implements TransientSink: OnBin copies the scalars and
+// rates it aggregates and OnInterval reads only value fields, so
+// nothing from the records outlives the callbacks.
+func (r *RollingStats) SinkTransient() bool { return true }
 
 // RollingSnapshot is a point-in-time summary of a stream: lifetime
 // totals plus means over the last WindowBins bins.

@@ -84,10 +84,22 @@ type execResult struct {
 	alloc float64 // predicted cycles × applied rate
 }
 
-// newBinContext starts the pipeline for one captured batch.
+// newBinContext starts the pipeline for one captured batch. The context
+// itself and its internal slices live on the System and are reused
+// every bin (bins are strictly sequential; the worker pool drains
+// before the next bin starts). The public Stats slices are also reused
+// when the run's sink is transient; otherwise they are fresh per bin,
+// because a retaining sink keeps them forever.
 func (s *System) newBinContext(bin int, b *pkt.Batch) *BinContext {
 	capacity := s.gov.Capacity()
-	bc := &BinContext{
+	nq := len(s.qs)
+	bc := &s.bc
+	rates, exec := bc.rates, bc.exec
+	var sRates, sUsed, sPred []float64
+	if s.recycle {
+		sRates, sUsed, sPred = bc.Stats.Rates, bc.Stats.QueryUsed, bc.Stats.QueryPred
+	}
+	*bc = BinContext{
 		Bin:  bin,
 		Wire: b,
 		Stats: BinStats{
@@ -95,19 +107,35 @@ func (s *System) newBinContext(bin int, b *pkt.Batch) *BinContext {
 			Capacity:  capacity,
 			WirePkts:  b.Packets(),
 			WireBytes: b.Bytes(),
-			Rates:     make([]float64, len(s.qs)),
-			QueryUsed: make([]float64, len(s.qs)),
-			QueryPred: make([]float64, len(s.qs)),
+			Rates:     resizeZeroed(sRates, nq),
+			QueryUsed: resizeZeroed(sUsed, nq),
+			QueryPred: resizeZeroed(sPred, nq),
 		},
 		capacity:  capacity,
 		unlimited: math.IsInf(capacity, 1),
-		rates:     make([]float64, len(s.qs)),
-		exec:      make([]execResult, len(s.qs)),
+		rates:     resizeZeroed(rates, nq),
 	}
+	if cap(exec) < nq {
+		exec = make([]execResult, nq)
+	}
+	bc.exec = exec[:nq]
+	clear(bc.exec)
 	for i := range bc.rates {
 		bc.rates[i] = 1
 	}
 	return bc
+}
+
+// resizeZeroed returns s resized to n with every element zero, reusing
+// capacity when possible (a nil s always allocates — the retain-mode
+// path hands fresh slices to the sink).
+func resizeZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // step processes one batch through the full pipeline (Algorithm 1):
@@ -254,7 +282,10 @@ func (s *System) decidePredictive(avail float64, preds []float64, rates []float6
 		return
 	}
 	budget := s.gov.QueryBudget(avail)
-	demands := make([]sched.Demand, len(s.qs))
+	if cap(s.demandBuf) < len(s.qs) {
+		s.demandBuf = make([]sched.Demand, len(s.qs))
+	}
+	demands := s.demandBuf[:len(s.qs)]
 	for i, rq := range s.qs {
 		demand := preds[i]
 		if rq.shed != nil {
@@ -268,7 +299,7 @@ func (s *System) decidePredictive(avail float64, preds []float64, rates []float6
 			MinRate: rq.q.MinRate(),
 		}
 	}
-	for i, a := range s.cfg.Strategy.Allocate(demands, budget) {
+	for i, a := range sched.AllocateInto(s.cfg.Strategy, demands, budget, &s.schedWs) {
 		rates[i] = a.Rate
 	}
 }
@@ -295,7 +326,15 @@ func (s *System) execute(bc *BinContext) {
 		}
 		if nSampled > 0 {
 			repRate /= float64(nSampled)
-			sampled := s.shedSamp.Sample(bc.Admitted.Pkts, repRate)
+			sampled := s.shedSamp.SampleInto(s.shedBuf, bc.Admitted.Pkts, repRate)
+			if repRate < 1 {
+				// Keep the (possibly grown) scratch — but only when it was
+				// actually filled: the mean of rates < 1 can round to
+				// exactly 1, and then SampleInto returned the admitted
+				// batch itself, which must never become the scratch a
+				// later bin writes into.
+				s.shedBuf = sampled[:0]
+			}
 			sb := pkt.Batch{Start: bc.Admitted.Start, Bin: bc.Admitted.Bin, Pkts: sampled}
 			opsBefore := s.shedExt.Ops
 			// Only the side effect matters here — shedExt's batch bitmaps,
@@ -307,7 +346,12 @@ func (s *System) execute(bc *BinContext) {
 		}
 	}
 
-	parallelIndexed(len(s.qs), s.cfg.Workers, func(i int) { s.executeQuery(bc, i) })
+	if s.execFn == nil {
+		// bc is always the System's reused context, so one closure serves
+		// every bin.
+		s.execFn = func(i int) { s.executeQuery(&s.bc, i) }
+	}
+	parallelIndexed(len(s.qs), s.cfg.Workers, s.execFn)
 
 	// Deterministic merge: index order fixes the floating-point
 	// summation order regardless of which worker ran which query.
@@ -335,7 +379,8 @@ func (s *System) execute(bc *BinContext) {
 func (s *System) executeQuery(bc *BinContext, i int) {
 	rq := s.qs[i]
 	rate := bc.rates[i]
-	qb := bc.Admitted
+	qb := &rq.qbatch
+	*qb = bc.Admitted
 	effRate := rate // the rate the query is told was applied
 
 	if rq.shed != nil && s.cfg.Scheme == Predictive {
@@ -355,7 +400,8 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 			// sampling (§6.1.1).
 			s.manager.Apply(rq.shed, rate)
 			if rate < 1 {
-				qb.Pkts = rq.psamp.Sample(bc.Admitted.Pkts, rate)
+				rq.sampBuf = rq.psamp.SampleInto(rq.sampBuf, bc.Admitted.Pkts, rate)
+				qb.Pkts = rq.sampBuf
 			}
 		case custom.ModeDisabled:
 			s.manager.Apply(rq.shed, 0)
@@ -364,17 +410,21 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 			effRate = 1
 		}
 	} else if rate < 1 {
+		// Shed into the query's scratch slice: the sampled view only has
+		// to live until Process and the feature merge below return, so
+		// one buffer per query replaces a fresh allocation per bin.
 		switch rq.q.Method() {
 		case sampling.Flow:
-			qb.Pkts = rq.fsamp.Sample(bc.Admitted.Pkts, rate)
+			rq.sampBuf = rq.fsamp.SampleInto(rq.sampBuf, bc.Admitted.Pkts, rate)
 		default:
-			qb.Pkts = rq.psamp.Sample(bc.Admitted.Pkts, rate)
+			rq.sampBuf = rq.psamp.SampleInto(rq.sampBuf, bc.Admitted.Pkts, rate)
 		}
+		qb.Pkts = rq.sampBuf
 	}
 	bc.Stats.Rates[i] = rate
 
 	// Run the query.
-	ops := rq.q.Process(&qb, effRate)
+	ops := rq.q.Process(qb, effRate)
 	base := s.cfg.Cost.Cycles(ops)
 	measured, spiked := s.measure(rq.noise, base)
 	bc.Stats.QueryUsed[i] = measured

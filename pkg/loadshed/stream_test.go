@@ -294,3 +294,144 @@ func BenchmarkRunLongRun(b *testing.B) {
 		_ = New(cfg, stdQueries()).Run(trace.NewGenerator(trace.Config{Seed: 16, MaxBins: bins, PacketsPerSec: 2000}))
 	}
 }
+
+// digestSink is a TransientSink that folds every record into running
+// digests without retaining anything — the harness for proving that the
+// recycling fast path (FlushInto, reused BinStats slices) delivers
+// exactly the values the allocating Run path does.
+type digestSink struct {
+	bins      float64
+	intervals float64
+}
+
+func (d *digestSink) OnQuery(int, string) {}
+
+func (d *digestSink) OnBin(b *BinStats) {
+	d.bins += b.Used + b.Alloc + b.Predicted + b.Overhead + b.Shed + float64(b.AdmitPkts+b.DropPkts)
+	for i, r := range b.Rates {
+		d.bins += r * float64(i+1)
+		d.bins += b.QueryUsed[i]*0.5 + b.QueryPred[i]*0.25
+	}
+}
+
+func (d *digestSink) OnInterval(iv *IntervalResults) {
+	d.intervals += iv.ExportCycles
+	for qi, r := range iv.Results {
+		d.intervals += resultDigest(r) * float64(qi+1)
+	}
+}
+
+func (*digestSink) SinkTransient() bool { return true }
+
+// resultDigest reduces a query result to an order-independent number.
+func resultDigest(r queries.Result) float64 {
+	switch v := r.(type) {
+	case nil:
+		return -1
+	case queries.FlowsResult:
+		return v.Flows
+	case queries.CounterResult:
+		return v.Packets + v.Bytes
+	case queries.HighWatermarkResult:
+		return v.WatermarkBytes
+	case queries.TraceResult:
+		return v.Packets + v.Bytes
+	case queries.PatternResult:
+		return v.Processed + v.Matches
+	case queries.ApplicationResult:
+		var s float64
+		for _, c := range v.Apps {
+			s += c.Packets + c.Bytes
+		}
+		return s
+	case queries.TopKResult:
+		var s float64
+		for i, e := range v.List {
+			s += float64(i+1) * (float64(e.IP) + e.Bytes)
+		}
+		s += float64(len(v.All))
+		return s
+	case queries.AutofocusResult:
+		var s float64
+		for i, c := range v.Clusters {
+			s += float64(i+1) * (float64(c.Prefix) + float64(c.Len) + c.Bytes)
+		}
+		return s + v.Total
+	case queries.SuperSourcesResult:
+		var s float64
+		for i, e := range v.Top {
+			s += float64(i+1) * (float64(e.IP) + e.FanOut)
+		}
+		s += float64(len(v.All))
+		return s
+	case queries.P2PResult:
+		var s float64
+		for k := range v.Detected {
+			s += float64(k[0]) + float64(k[5]) + float64(k[12])
+		}
+		return s + v.Count
+	default:
+		return math.NaN()
+	}
+}
+
+// digestRun folds an already-collected RunResult through the same
+// digests as digestSink.
+func digestRun(res *RunResult) (bins, intervals float64) {
+	var d digestSink
+	for i := range res.Bins {
+		d.OnBin(&res.Bins[i])
+	}
+	for i := range res.Intervals {
+		d.OnInterval(&res.Intervals[i])
+	}
+	return d.bins, d.intervals
+}
+
+// TestTransientStreamMatchesRun pins the recycling fast path: a Stream
+// into a transient sink — which makes the engine reuse Stats slices and
+// recycle interval results through FlushInto — must produce exactly the
+// per-bin and per-interval values of the allocating Run path, custom
+// shedding and mid-run arrivals included.
+func TestTransientStreamMatchesRun(t *testing.T) {
+	mkSys := func() *System {
+		cfg := streamCfg(21)
+		cfg.CustomShedding = true
+		cfg.Arrivals = []Arrival{{AtBin: 13, Make: func() queries.Query {
+			return queries.NewCounter(queries.Config{Seed: 4})
+		}}}
+		return New(cfg, queries.FullSet(queries.Config{Seed: 21}))
+	}
+	want := mkSys().Run(testSource(5, 5*time.Second))
+	wantBins, wantIvs := digestRun(want)
+
+	var got digestSink
+	mkSys().Stream(testSource(5, 5*time.Second), &got)
+	if got.bins != wantBins || got.intervals != wantIvs {
+		t.Fatalf("transient stream diverged from Run: bins %v vs %v, intervals %v vs %v",
+			got.bins, wantBins, got.intervals, wantIvs)
+	}
+}
+
+// TestRunResultSurvivesLaterTransientStream is the regression test for
+// the slice-harvest bug: a RunResult returned by a System must stay
+// intact when the same System later streams into a transient sink,
+// whose runs recycle the per-bin Stats slices. Before the fix the
+// recycling pass harvested the slices the retained last bin still
+// referenced and overwrote them in place.
+func TestRunResultSurvivesLaterTransientStream(t *testing.T) {
+	sys := New(streamCfg(31), stdQueries())
+	res := sys.Run(testSource(8, 3*time.Second))
+	last := res.Bins[len(res.Bins)-1]
+	rates := append([]float64(nil), last.Rates...)
+	used := append([]float64(nil), last.QueryUsed...)
+	pred := append([]float64(nil), last.QueryPred...)
+
+	sys.Stream(testSource(9, 3*time.Second), NewRollingStats(50))
+
+	if !reflect.DeepEqual(last.Rates, rates) ||
+		!reflect.DeepEqual(last.QueryUsed, used) ||
+		!reflect.DeepEqual(last.QueryPred, pred) {
+		t.Fatal("a later transient-sink Stream mutated the retained RunResult's per-bin slices")
+	}
+}
