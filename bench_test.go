@@ -11,6 +11,7 @@ package repro
 // full suite completes in minutes; use cmd/lsrepro for full-scale runs.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -193,6 +194,41 @@ func BenchmarkMicroMonitorBin(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+func BenchmarkPipelineSaturation(b *testing.B) {
+	// Steady-state wire throughput of the bin loop at increasing worker
+	// counts (DESIGN.md §10): one warmed Monitor per sub-benchmark
+	// streams the recorded window repeatedly into a discarding sink, so
+	// the metric prices exactly the pipelined engine — extraction for
+	// bin N+1 overlapped with execution for bin N — and nothing else.
+	// workers=1 is the strictly sequential engine; the pkts/s trajectory
+	// in README.md comes from this benchmark.
+	const window = 100
+	src := NewGenerator(TraceConfig{Seed: 1, Duration: time.Hour, PacketsPerSec: 25000, Payload: true})
+	batches := nextBatches(src, window)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			mon := NewMonitor(MonitorConfig{
+				Scheme: Predictive, Capacity: 3e8, Strategy: MMFSPkt(), Seed: 1, Workers: workers,
+			}, StandardQueries(QueryConfig{}))
+			// Warm the scratch buffers, the slot ring and the worker
+			// pools; the timed region then measures steady state only.
+			mon.Stream(trace.NewMemorySource(batches, src.TimeBin()), nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			bins, pkts := 0, 0
+			for bins < b.N {
+				n := min(b.N-bins, window)
+				mon.Stream(trace.NewMemorySource(batches[:n], src.TimeBin()), nil)
+				bins += n
+				for i := 0; i < n; i++ {
+					pkts += batches[i].Packets()
+				}
+			}
+			b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
 }
 
 func nextBatches(src *trace.Generator, n int) []pkt.Batch {

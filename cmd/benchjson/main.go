@@ -20,12 +20,14 @@
 // allocation gate CI runs on the extraction fast path.
 //
 // The -compare gate loads an earlier snapshot, prints the per-benchmark
-// ns/op, B/op and allocs/op deltas, and exits nonzero when any
+// ns/op, B/op, allocs/op and pkts/s deltas, and exits nonzero when any
 // benchmark regresses beyond the configured fractional thresholds
-// (-regress-ns, -regress-b, -regress-allocs; a negative threshold
-// disables that dimension — wall clock is disabled by default because
-// shared CI runners make it flaky, while allocation counts are
-// deterministic).
+// (-regress-ns, -regress-b, -regress-allocs, -regress-pkts; a negative
+// threshold disables that dimension — the wall-clock dimensions ns/op
+// and pkts/s are disabled by default because shared CI runners make
+// them flaky, while allocation counts are deterministic). pkts/s is a
+// higher-is-better custom metric, so its threshold bounds the allowed
+// fractional throughput *drop*.
 package main
 
 import (
@@ -63,7 +65,7 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkMicro|BenchmarkStreamLongRun|BenchmarkRunLongRun|BenchmarkCluster$|BenchmarkExtract$|BenchmarkMultiRes|BenchmarkHashAgg",
+	bench := flag.String("bench", "BenchmarkMicro|BenchmarkPipelineSaturation|BenchmarkStreamLongRun|BenchmarkRunLongRun|BenchmarkCluster$|BenchmarkExtract$|BenchmarkMultiRes|BenchmarkHashAgg",
 		"benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
 	count := flag.Int("count", 1, "passed to go test -count")
@@ -73,6 +75,7 @@ func main() {
 	regressNs := flag.Float64("regress-ns", -1, "max allowed fractional ns/op regression vs -compare (negative disables)")
 	regressB := flag.Float64("regress-b", 0.35, "max allowed fractional B/op regression vs -compare (negative disables)")
 	regressAllocs := flag.Float64("regress-allocs", 0.10, "max allowed fractional allocs/op regression vs -compare (negative disables)")
+	regressPkts := flag.Float64("regress-pkts", -1, "max allowed fractional pkts/s drop vs -compare (higher is better; negative disables)")
 	pkgs := flag.String("pkgs", ".,./pkg/loadshed,./internal/bitmap,./internal/hash,./internal/features", "comma-separated packages to benchmark")
 	flag.Parse()
 
@@ -125,7 +128,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
 			os.Exit(1)
 		}
-		if compareSnapshots(results, old, *regressNs, *regressB, *regressAllocs) {
+		if compareSnapshots(results, old, *regressNs, *regressB, *regressAllocs, *regressPkts) {
 			failed = true
 		}
 	}
@@ -160,15 +163,17 @@ const (
 // applies the fractional regression thresholds (negative = dimension
 // disabled). It returns true when any gate fails. Benchmarks present
 // only on one side are reported but never fail the gate — the set
-// evolves PR to PR.
-func compareSnapshots(results []Result, old *File, tNs, tB, tAllocs float64) bool {
+// evolves PR to PR. pkts/s is higher-is-better: its delta column only
+// appears for benchmarks that report the metric, and its gate fires on
+// a fractional *drop* beyond tPkts.
+func compareSnapshots(results []Result, old *File, tNs, tB, tAllocs, tPkts float64) bool {
 	prev := make(map[string]Result, len(old.Benchmarks))
 	for _, r := range old.Benchmarks {
 		prev[r.Name] = r
 	}
 	failed := false
 	fmt.Printf("benchjson: comparing against %s (%s)\n", old.Tool, old.Go)
-	fmt.Printf("%-42s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	fmt.Printf("%-42s %14s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op", "pkts/s")
 	check := func(name, dim string, now, was, thresh, eps float64) string {
 		delta := fmtDelta(now, was)
 		if thresh >= 0 && now > was*(1+thresh)+eps {
@@ -182,17 +187,27 @@ func compareSnapshots(results []Result, old *File, tNs, tB, tAllocs float64) boo
 	for _, r := range results {
 		p, ok := prev[r.Name]
 		if !ok {
-			fmt.Printf("%-42s %14s %14s %14s  (new)\n", r.Name, "-", "-", "-")
+			fmt.Printf("%-42s %14s %14s %14s %14s  (new)\n", r.Name, "-", "-", "-", "-")
 			continue
 		}
 		delete(prev, r.Name)
 		dNs := check(r.Name, "ns/op", r.NsPerOp, p.NsPerOp, tNs, epsNs)
 		dB := check(r.Name, "B/op", r.BPerOp, p.BPerOp, tB, epsB)
 		dA := check(r.Name, "allocs/op", r.AllocsPerOp, p.AllocsPerOp, tAllocs, epsAllocs)
-		fmt.Printf("%-42s %14s %14s %14s\n", r.Name, dNs, dB, dA)
+		dP := "-"
+		if now, was := r.Metrics["pkts/s"], p.Metrics["pkts/s"]; now > 0 && was > 0 {
+			dP = fmtDelta(now, was)
+			if tPkts >= 0 && now < was*(1-tPkts) {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: pkts/s dropped %v -> %v (limit -%.0f%%)\n",
+					r.Name, was, now, tPkts*100)
+				dP += "!"
+			}
+		}
+		fmt.Printf("%-42s %14s %14s %14s %14s\n", r.Name, dNs, dB, dA, dP)
 	}
 	for name := range prev {
-		fmt.Printf("%-42s %14s %14s %14s  (not run)\n", name, "-", "-", "-")
+		fmt.Printf("%-42s %14s %14s %14s %14s  (not run)\n", name, "-", "-", "-", "-")
 	}
 	return failed
 }

@@ -88,10 +88,78 @@ func Names() []string {
 	return out
 }
 
+// Batch-bitmap geometry shared by every Sketch and every Extractor's
+// interval bitmaps. MultiRes.MergeFrom requires identical geometry, and
+// the sketch/finish split below merges sketches produced by one
+// extractor into the interval state of another, so the dimensioning is
+// a package constant rather than a per-extractor choice.
+const (
+	batchBits   = 2048
+	batchLevels = 16
+)
+
+// Sketch is the per-batch half of feature extraction: one
+// multi-resolution bitmap per header aggregate, filled with the hashes
+// of a batch's packets, plus the hash staging buffer the fill uses. A
+// Sketch carries no interval state, so filling one is a pure function
+// of (hash seed, packet slice): it can run ahead of the bin that will
+// consume it, and two sketches can be filled concurrently.
+//
+// The engine's pipelined runner keeps a small ring of sketches so the
+// front stage can hash bin N+1 while the back stage still reads bin N's
+// sketch (see pkg/loadshed DESIGN.md §10); per-worker sketches are the
+// staging areas of the chunk-parallel fill (SketchChunks).
+//
+// The zero value is unusable; construct with NewSketch.
+type Sketch struct {
+	batch   [pkt.NumAggregates]*bitmap.MultiRes
+	hashBuf []uint64 // hash staging, sized to the largest chunk seen
+	pkts    int      // packets represented by the current contents
+}
+
+// NewSketch returns an empty sketch with the package's batch-bitmap
+// geometry.
+func NewSketch() *Sketch {
+	sk := &Sketch{}
+	for a := 0; a < pkt.NumAggregates; a++ {
+		sk.batch[a] = bitmap.NewMultiRes(batchBits, batchLevels)
+	}
+	return sk
+}
+
+// Reset clears the sketch to empty. Like bitmap.MultiRes.Reset it costs
+// O(words the previous fill touched).
+func (sk *Sketch) Reset() {
+	for a := 0; a < pkt.NumAggregates; a++ {
+		sk.batch[a].Reset()
+	}
+	sk.pkts = 0
+}
+
+// Pkts reports how many packets the sketch currently represents.
+func (sk *Sketch) Pkts() int { return sk.pkts }
+
+// Ops returns the hash+insert operation count the current contents cost
+// (one per packet per aggregate), the unit the engine's cost model
+// charges feature extraction in.
+func (sk *Sketch) Ops() int64 { return int64(sk.pkts) * pkt.NumAggregates }
+
+// MergeFrom ORs another sketch into sk. Bitmap contents are pure unions,
+// so merging per-worker chunk sketches in any fixed order reproduces the
+// sequential fill bit for bit; the chunk-parallel path merges in worker
+// index order to keep even the bookkeeping deterministic.
+func (sk *Sketch) MergeFrom(o *Sketch) {
+	for a := 0; a < pkt.NumAggregates; a++ {
+		sk.batch[a].MergeFrom(o.batch[a])
+	}
+	sk.pkts += o.pkts
+}
+
 // Extractor computes feature vectors from batches. It keeps two bitmaps
-// per aggregate: one reset per batch (unique counts) and one reset per
-// measurement interval (new counts); the interval bitmap is updated by
-// ORing the batch bitmap into it, exactly as described in §3.2.1.
+// per aggregate: one reset per batch (unique counts, held in an internal
+// Sketch) and one reset per measurement interval (new counts); the
+// interval bitmap is updated by ORing the batch bitmap into it, exactly
+// as described in §3.2.1.
 //
 // The extractor is built for the fast path: per packet it pays one
 // field-wise H3 hash (hash.H3.HashAgg — no key serialization) and one
@@ -101,14 +169,23 @@ func Names() []string {
 // call on the same Extractor (copy it to retain it; predict.History
 // does). Use ExtractInto to supply your own destination.
 //
+// Extraction splits into two phases with different sharing rules:
+//
+//   - SketchInto fills a caller-owned Sketch from a packet slice. It
+//     only reads the extractor's hash tables (fixed at construction),
+//     so concurrent SketchInto calls on one extractor are safe as long
+//     as each targets a distinct Sketch.
+//   - FinishSketch folds a filled sketch into the extractor's interval
+//     state and produces the feature vector. It mutates the extractor
+//     and must stay single-threaded, like every other method.
+//
 // The zero value is unusable; construct with NewExtractor.
 type Extractor struct {
 	h3       [pkt.NumAggregates]*hash.H3
-	batch    [pkt.NumAggregates]*bitmap.MultiRes
+	sk       *Sketch // internal sketch used by Extract/ExtractInto
 	interval [pkt.NumAggregates]*bitmap.MultiRes
 	intEst   [pkt.NumAggregates]float64 // current interval-bitmap estimate
 	scratch  Vector                     // returned by Extract/ExtractFromBatchOf
-	hashBuf  []uint64                   // per-aggregate hash staging, sized to the largest batch seen
 
 	// Ops counts hash+insert operations performed, so the experiment
 	// harness can charge feature extraction its deterministic cost
@@ -119,14 +196,19 @@ type Extractor struct {
 // NewExtractor returns an extractor whose hash functions derive from
 // seed.
 func NewExtractor(seed uint64) *Extractor {
-	e := &Extractor{scratch: make(Vector, NumFeatures)}
+	e := &Extractor{scratch: make(Vector, NumFeatures), sk: NewSketch()}
 	for a := 0; a < pkt.NumAggregates; a++ {
 		e.h3[a] = hash.NewH3(seed + uint64(a)*0x9e3779b97f4a7c15)
-		e.batch[a] = bitmap.NewMultiRes(2048, 16)
-		e.interval[a] = bitmap.NewMultiRes(2048, 16)
+		e.interval[a] = bitmap.NewMultiRes(batchBits, batchLevels)
 	}
 	return e
 }
+
+// Sketch returns the extractor's internal sketch: the batch bitmaps of
+// the most recent Extract/ExtractInto call. The engine hands it to
+// queries that merge the full-stream batch state instead of re-hashing
+// (ExtractFromSketch); it is overwritten by the next extraction on e.
+func (e *Extractor) Sketch() *Sketch { return e.sk }
 
 // StartInterval resets the per-interval state. Call it at every
 // measurement-interval boundary before extracting the interval's first
@@ -149,12 +231,12 @@ func (e *Extractor) IntervalEstimates() []float64 {
 }
 
 // finishAggregate folds aggregate a's freshly filled batch bitmap of
-// src into e's interval state and writes the aggregate's four counters
+// sk into e's interval state and writes the aggregate's four counters
 // into v. It is the per-aggregate tail shared by every extraction path;
-// src is e itself except on the merge-only path.
-func (e *Extractor) finishAggregate(v Vector, src *Extractor, a int, npkts float64) {
-	unique := src.batch[a].Estimate()
-	e.interval[a].MergeFrom(src.batch[a])
+// sk is e's own sketch except on the merge-only paths.
+func (e *Extractor) finishAggregate(v Vector, sk *Sketch, a int, npkts float64) {
+	unique := sk.batch[a].Estimate()
+	e.interval[a].MergeFrom(sk.batch[a])
 	after := e.interval[a].Estimate()
 	newItems := after - e.intEst[a]
 	e.intEst[a] = after
@@ -184,18 +266,38 @@ func (e *Extractor) finishAggregate(v Vector, src *Extractor, a int, npkts float
 // construction). The returned vector is e's scratch: it is valid until
 // the next extraction call on e.
 func (e *Extractor) ExtractFromBatchOf(src *Extractor, npkts, nbytes float64) Vector {
-	e.scratch = e.ExtractFromBatchOfInto(e.scratch, src, npkts, nbytes)
-	return e.scratch
+	return e.ExtractFromSketch(src.sk, npkts, nbytes)
 }
 
 // ExtractFromBatchOfInto is ExtractFromBatchOf writing into v (grown if
 // needed) — the allocation-free form.
 func (e *Extractor) ExtractFromBatchOfInto(v Vector, src *Extractor, npkts, nbytes float64) Vector {
+	return e.FinishSketchInto(v, src.sk, npkts, nbytes)
+}
+
+// ExtractFromSketch is ExtractFromBatchOf taking the batch state as a
+// bare Sketch — the form the pipelined engine uses, where the current
+// bin's sketch lives in a ring slot rather than inside the extractor
+// that would have filled it on the sequential path. The returned vector
+// is e's scratch: it is valid until the next extraction call on e.
+func (e *Extractor) ExtractFromSketch(sk *Sketch, npkts, nbytes float64) Vector {
+	e.scratch = e.FinishSketchInto(e.scratch, sk, npkts, nbytes)
+	return e.scratch
+}
+
+// FinishSketchInto folds a filled sketch into e's interval state and
+// writes the full feature vector into v (grown if needed): the second,
+// extractor-mutating half of extraction. npkts and nbytes are the
+// scalar features of the stream the sketch summarizes — the caller's
+// because on the merge-only paths (rate-1 queries, sampled queries
+// reading the shared shed sketch) they describe the query's view of the
+// stream, not the sketch's packet count.
+func (e *Extractor) FinishSketchInto(v Vector, sk *Sketch, npkts, nbytes float64) Vector {
 	v = sized(v)
 	v[IdxPackets] = npkts
 	v[IdxBytes] = nbytes
 	for a := 0; a < pkt.NumAggregates; a++ {
-		e.finishAggregate(v, src, a, npkts)
+		e.finishAggregate(v, sk, a, npkts)
 	}
 	return v
 }
@@ -221,20 +323,91 @@ func (e *Extractor) Extract(b *pkt.Batch) Vector {
 // Bitmap contents are order-independent (pure ORs), so the result is
 // bit-identical to per-packet order.
 func (e *Extractor) ExtractInto(v Vector, b *pkt.Batch) Vector {
-	v = sized(v)
-	npkts := float64(b.Packets())
-	v[IdxPackets] = npkts
-	v[IdxBytes] = float64(b.Bytes())
+	e.SketchInto(e.sk, b.Pkts)
+	e.Ops += e.sk.Ops()
+	return e.FinishSketchInto(v, e.sk, float64(b.Packets()), float64(b.Bytes()))
+}
 
+// SketchInto resets sk and fills it with the hashes of pkts: the first,
+// batch-pure half of extraction. It reads only e's hash tables (fixed
+// at construction) and writes only sk, so concurrent calls on the same
+// extractor are safe when each targets a distinct sketch — the contract
+// the chunk-parallel fill and the pipelined engine's read-ahead stage
+// build on. It does not advance e.Ops; the consumer charges the cost
+// when the sketch is folded into a bin (sk.Ops reports it).
+//
+// Aggregates iterate in the outer loop, packets in the inner one, for
+// the cache behaviour documented on ExtractInto.
+func (e *Extractor) SketchInto(sk *Sketch, pkts []pkt.Packet) {
+	sk.Reset()
 	for a := 0; a < pkt.NumAggregates; a++ {
-		bm := e.batch[a]
-		bm.Reset()
-		e.hashBuf = e.h3[a].AggHashes(e.hashBuf, b.Pkts, pkt.Aggregate(a))
-		bm.InsertMany(e.hashBuf)
-		e.finishAggregate(v, e, a, npkts)
+		sk.hashBuf = e.h3[a].AggHashes(sk.hashBuf, pkts, pkt.Aggregate(a))
+		sk.batch[a].InsertMany(sk.hashBuf)
 	}
-	e.Ops += int64(len(b.Pkts)) * pkt.NumAggregates
-	return v
+	sk.pkts = len(pkts)
+}
+
+// ChunkSketcher fills sketches from contiguous packet chunks in
+// parallel: chunk w is sketched into a per-worker staging sketch (the
+// per-worker H3 staging of the batch-parallel front stage), and the
+// staging sketches are merged into the destination in worker index
+// order. Because bitmap contents are pure unions and every packet's
+// hash is independent of its neighbours, the result is bit-identical to
+// a sequential SketchInto for any chunk count and any execution order —
+// which is what lets the engine split a batch across cores without
+// giving up bit-identical runs.
+//
+// The chunk closure is built once at construction and the staging
+// sketches are reused across fills, so a warmed ChunkSketcher fills
+// without allocating. It is owned by one producer at a time; only the
+// chunk function itself runs on other goroutines.
+type ChunkSketcher struct {
+	e       *Extractor
+	staging []*Sketch
+	pkts    []pkt.Packet // current fill's input, read by fn
+	chunk   int          // current fill's chunk length
+	fn      func(int)    // prebuilt chunk body
+}
+
+// NewChunkSketcher returns a sketcher with `workers` staging sketches
+// for extractor e (workers >= 1).
+func NewChunkSketcher(e *Extractor, workers int) *ChunkSketcher {
+	if workers < 1 {
+		workers = 1
+	}
+	cs := &ChunkSketcher{e: e, staging: make([]*Sketch, workers)}
+	for w := range cs.staging {
+		cs.staging[w] = NewSketch()
+	}
+	cs.fn = func(w int) {
+		lo := min(w*cs.chunk, len(cs.pkts))
+		hi := min(lo+cs.chunk, len(cs.pkts))
+		cs.e.SketchInto(cs.staging[w], cs.pkts[lo:hi])
+	}
+	return cs
+}
+
+// Workers reports the number of staging sketches (the chunk count).
+func (cs *ChunkSketcher) Workers() int { return len(cs.staging) }
+
+// Fill sketches pkts into dst using one chunk per staging sketch. run
+// must invoke fn(0..n-1) exactly once each before returning, on any
+// goroutines it likes — a worker pool, or nil to run the chunks inline.
+// dst must be distinct from every staging sketch.
+func (cs *ChunkSketcher) Fill(dst *Sketch, pkts []pkt.Packet, run func(n int, fn func(int))) {
+	n := len(cs.staging)
+	if n == 1 || run == nil {
+		cs.e.SketchInto(dst, pkts)
+		return
+	}
+	cs.pkts = pkts
+	cs.chunk = (len(pkts) + n - 1) / n
+	run(n, cs.fn)
+	cs.pkts = nil
+	dst.Reset()
+	for _, sk := range cs.staging {
+		dst.MergeFrom(sk)
+	}
 }
 
 // sized returns v resized to NumFeatures, reallocating only when the

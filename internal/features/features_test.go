@@ -202,21 +202,20 @@ func extractOracle(e *Extractor, b *pkt.Batch) Vector {
 	v[IdxPackets] = float64(b.Packets())
 	v[IdxBytes] = float64(b.Bytes())
 
-	for a := 0; a < pkt.NumAggregates; a++ {
-		e.batch[a].Reset()
-	}
+	e.sk.Reset()
 	var keyBuf []byte
 	for i := range b.Pkts {
 		p := &b.Pkts[i]
 		for a := 0; a < pkt.NumAggregates; a++ {
 			keyBuf = p.AppendAggKey(keyBuf[:0], pkt.Aggregate(a))
-			e.batch[a].Insert(hash.Mix64(e.h3[a].Hash(keyBuf)))
+			e.sk.batch[a].Insert(hash.Mix64(e.h3[a].Hash(keyBuf)))
 		}
 	}
+	e.sk.pkts = b.Packets()
 
 	npkts := v[IdxPackets]
 	for a := 0; a < pkt.NumAggregates; a++ {
-		e.finishAggregate(v, e, a, npkts)
+		e.finishAggregate(v, e.sk, a, npkts)
 	}
 	return v
 }

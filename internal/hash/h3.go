@@ -24,6 +24,14 @@ const KeySize = 13
 // H3 is a member of the H3 universal hash family over KeySize-byte keys
 // producing 64-bit values. The zero value is unusable; construct with
 // NewH3.
+//
+// An H3 value is immutable between Reseed calls: Hash, HashAgg and
+// AggHashes only read the lookup table, so any number of goroutines may
+// hash through the same H3 concurrently (into distinct dst buffers for
+// AggHashes). This read-only contract is what lets the engine's
+// chunk-parallel front stage share one extractor's H3 functions across
+// sketch workers. Reseed is the single mutator and must not run
+// concurrently with hashing.
 type H3 struct {
 	table [KeySize][256]uint64
 }

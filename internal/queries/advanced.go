@@ -45,12 +45,23 @@ type Autofocus struct {
 	threshold float64
 	table     map[uint32]float64 // per-/32 bytes, scaled
 
-	// Flush-time roll-up scratch, cleared and reused every interval so
-	// the per-flush hierarchy walk stops allocating: rollup[i] holds the
-	// aggregation at levels[i+1] (level 0 is the table itself) and
-	// reported[i] the reported volume by prefix at levels[i].
-	rollup   [3]map[uint32]float64
-	reported [4]map[uint32]float64
+	// Flush-time scratch, reused every interval so the per-flush
+	// hierarchy walk stops allocating: lvlBuf[i] is the sorted
+	// aggregation at levels[i] (level 0 mirrors the table) and repBuf[i]
+	// the reported volumes at levels[i], also sorted by prefix. Sorted
+	// slices rather than maps because the roll-up and residual
+	// arithmetic is floating-point: under sampling the scaled byte
+	// counts are inexact, so summing in map iteration order would make
+	// every flush's low bits — and with a near-threshold cluster, the
+	// reported set itself — vary from run to run.
+	lvlBuf [4][]afEntry
+	repBuf [4][]afEntry
+}
+
+// afEntry is one prefix's volume in the flush scratch.
+type afEntry struct {
+	prefix uint32
+	bytes  float64
 }
 
 // NewAutofocus returns an autofocus query; threshold <= 0 selects
@@ -97,64 +108,74 @@ func (q *Autofocus) Process(b *pkt.Batch, rate float64) Ops {
 // and report clusters whose residual volume exceeds the threshold.
 func (q *Autofocus) Flush() (Result, Ops) { return q.FlushInto(nil) }
 
-// FlushInto implements ResultRecycler: the roll-up maps are query-owned
-// scratch cleared per interval, the /32 table is cleared in place, and
-// the reported cluster slice reuses prev's storage when given. Reported
-// values are identical to Flush's.
+// FlushInto implements ResultRecycler: the roll-up slices are
+// query-owned scratch reused per interval, the /32 table is cleared in
+// place, and the reported cluster slice reuses prev's storage when
+// given. Reported values are identical to Flush's. Every accumulation
+// walks prefixes in sorted order so the flush is bit-reproducible (see
+// the scratch fields' comment).
 func (q *Autofocus) FlushInto(prev Result) (Result, Ops) {
 	var clusters []Cluster
 	if p, ok := prev.(AutofocusResult); ok {
 		clusters = p.Clusters[:0]
 	}
+
+	lvl0 := q.lvlBuf[0][:0]
+	for ip, v := range q.table {
+		lvl0 = append(lvl0, afEntry{ip, v})
+	}
+	slices.SortFunc(lvl0, func(a, b afEntry) int { return cmp.Compare(a.prefix, b.prefix) })
+	q.lvlBuf[0] = lvl0
+
 	var total float64
-	for _, v := range q.table {
-		total += v
+	for i := range lvl0 {
+		total += lvl0[i].bytes
 	}
 	thresh := q.threshold * total
 
 	levels := [4]int{32, 24, 16, 8}
-	var agg [4]map[uint32]float64
-	agg[0] = q.table
 	for li := 1; li < len(levels); li++ {
-		if q.rollup[li-1] == nil {
-			q.rollup[li-1] = make(map[uint32]float64)
-		} else {
-			clear(q.rollup[li-1])
-		}
-		agg[li] = q.rollup[li-1]
+		// The finer level is sorted, so each coarse prefix's children
+		// form a contiguous run and the roll-up comes out sorted too.
 		mask := prefixMask(levels[li])
-		for ip, v := range agg[li-1] {
-			agg[li][ip&mask] += v
+		out := q.lvlBuf[li][:0]
+		for _, e := range q.lvlBuf[li-1] {
+			p := e.prefix & mask
+			if n := len(out); n > 0 && out[n-1].prefix == p {
+				out[n-1].bytes += e.bytes
+			} else {
+				out = append(out, afEntry{p, e.bytes})
+			}
 		}
+		q.lvlBuf[li] = out
 	}
 
-	reported := &q.reported // reported volume by prefix per level
 	ops := Ops{Flushes: int64(len(q.table))}
 	for li, plen := range levels {
-		if reported[li] == nil {
-			reported[li] = make(map[uint32]float64)
-		} else {
-			clear(reported[li])
-		}
+		rep := q.repBuf[li][:0]
 		mask := prefixMask(plen)
-		for prefix, v := range agg[li] {
-			residual := v
-			if li > 0 {
-				// Subtract descendants already reported at finer levels.
-				for lj := 0; lj < li; lj++ {
-					for rp, rv := range reported[lj] {
-						if rp&mask == prefix {
-							residual -= rv
-						}
-					}
+		for _, e := range q.lvlBuf[li] {
+			residual := e.bytes
+			// Subtract descendants already reported at finer levels:
+			// each repBuf is sorted by prefix, so a coarse prefix's
+			// descendants are the range [prefix, prefix|^mask].
+			hi := e.prefix | ^mask
+			for lj := 0; lj < li; lj++ {
+				r := q.repBuf[lj]
+				lo, _ := slices.BinarySearchFunc(r, e.prefix, func(re afEntry, p uint32) int {
+					return cmp.Compare(re.prefix, p)
+				})
+				for k := lo; k < len(r) && r[k].prefix <= hi; k++ {
+					residual -= r[k].bytes
 				}
 			}
 			ops.Sorts++
 			if residual >= thresh && thresh > 0 {
-				clusters = append(clusters, Cluster{Prefix: prefix, Len: plen, Bytes: residual})
-				reported[li][prefix] = v
+				clusters = append(clusters, Cluster{Prefix: e.prefix, Len: plen, Bytes: residual})
+				rep = append(rep, afEntry{e.prefix, e.bytes})
 			}
 		}
+		q.repBuf[li] = rep
 	}
 	slices.SortFunc(clusters, func(a, b Cluster) int {
 		if a.Bytes != b.Bytes {

@@ -250,7 +250,13 @@ func (c *Cluster) Run() *ClusterResult {
 // Determinism holds for any runner count for the same reasons as the
 // execute stage's pool: each shard's step touches only shard-owned
 // state, and everything cross-shard (coordination, aggregation) happens
-// at the barrier afterwards, in shard-index order.
+// at the barrier afterwards, in shard-index order. Pipelined shards
+// (Base.Workers >= 2, DESIGN.md §10) compose with this: each shard
+// owns its front goroutine and slot ring, the coordinator's
+// SetCapacity still lands between that shard's bins exactly as in a
+// sequential shard, and a shard's front exits at end of trace before
+// run.finish tears its pools down
+// (TestClusterPipelinedShardsDeterminism).
 func (c *Cluster) stepAll() bool {
 	parallelIndexed(len(c.shards), c.cfg.Runners, func(i int) {
 		sh := c.shards[i]

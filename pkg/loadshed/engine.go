@@ -106,12 +106,23 @@ type Config struct {
 	SpikeProb   float64 // probability of a cost spike per query-bin (default 0)
 	SpikeFactor float64 // spike multiplier (default 2.5)
 
-	// Workers bounds the worker pool the execute stage fans queries out
-	// on. 0 selects runtime.GOMAXPROCS(0); 1 runs every query inline on
-	// the pipeline goroutine. Results are bit-identical for any value:
-	// each query owns its RNG streams and per-bin results merge in
-	// query-index order.
+	// Workers bounds the engine's total concurrency. 0 selects
+	// runtime.GOMAXPROCS(0); 1 runs the strictly sequential bin loop
+	// with every query inline on the run goroutine. Workers >= 2 (unless
+	// NoPipeline is set) additionally enables the two-deep bin pipeline:
+	// the count splits between the front-stage sketch pool and the
+	// back-stage execute pool per splitWorkers (front = ⌊Workers/2⌋, at
+	// least 1; execute = the rest — see the table in DESIGN.md §10).
+	// Results are bit-identical for any value: sketching is a pure
+	// function of the batch merged in index order, each query owns its
+	// RNG streams, and per-bin results merge in query-index order.
 	Workers int
+
+	// NoPipeline forces the sequential bin loop even when Workers >= 2,
+	// keeping the whole Workers count for the execute pool. Output is
+	// identical either way; the switch exists for measurement (pipelined
+	// vs sequential at equal Workers) and as an escape hatch.
+	NoPipeline bool
 
 	BufferBins      float64 // capture buffer size in bins of traffic (default 50 ≈ 5 s, a 256 MB DAG buffer at evaluation rates; Ch. 5's no-shedding emulation sets 2 ≈ 200 ms)
 	ReactiveMinRate float64 // α of Eq. 4.1 (default 0.01)
@@ -277,6 +288,26 @@ type System struct {
 	// prevIvr recycles the interval result storage when the sink is
 	// transient; index-aligned with qs.
 	prevIvr []queries.Result
+
+	// execWk is the execute stage's pool size: Workers under the
+	// sequential loop, the back-stage half of splitWorkers when
+	// pipelined.
+	execWk int
+	// execPool is the execute stage's persistent worker pool (execWk-1
+	// helpers; the run goroutine is the pool's remaining worker),
+	// per-run like the pipeline's front pool: newRunner spawns it,
+	// finish releases it, an idle System holds no goroutines. nil when
+	// execWk == 1 — the execute fan-out then runs inline.
+	execPool *staticPool
+	// pipe is the two-deep bin pipeline's persistent state (slots,
+	// channels, chunk sketcher), built lazily on the first pipelined run
+	// and reused after; see pipeline.go.
+	pipe *pipeline
+	// specSketch, when non-nil, is the front stage's speculative sketch
+	// of the current bin's wire batch. extractPredict validates it
+	// against the admitted batch; nil selects the sequential
+	// sketch-in-place path.
+	specSketch *features.Sketch
 }
 
 // New builds a system around the given fresh query instances. All
@@ -295,6 +326,10 @@ func New(cfg Config, qs []queries.Query) *System {
 		noise:        hash.NewXorShift(cfg.Seed + 0x4015e),
 		interval:     qs[0].Interval(),
 		reactiveRate: 1,
+	}
+	s.execWk = cfg.Workers
+	if cfg.pipelined() {
+		_, s.execWk = splitWorkers(cfg.Workers)
 	}
 	if cfg.CustomShedding {
 		s.manager = custom.NewManager(cfg.CustomPolicy)
@@ -378,6 +413,7 @@ type runner struct {
 	s               *System
 	src             trace.Source
 	sink            Sink
+	pipe            *pipeline // non-nil: the front stage owns src (pipeline.go)
 	binsPerInterval int
 	curInterval     int
 	bin             int
@@ -411,17 +447,60 @@ func (s *System) newRunner(src trace.Source, sink Sink) *runner {
 		binsPerInterval = 1
 	}
 	s.startInterval()
-	return &runner{s: s, src: src, sink: sink, binsPerInterval: binsPerInterval}
+	r := &runner{s: s, src: src, sink: sink, binsPerInterval: binsPerInterval}
+	if s.execWk > 1 {
+		s.execPool = newStaticPool(s.execWk - 1)
+	}
+	if s.cfg.pipelined() {
+		r.pipe = s.ensurePipeline()
+		r.pipe.begin(src, s.cfg.Scheme == Predictive)
+	}
+	return r
 }
 
 // step processes the next batch — arrivals, interval boundary, the
-// six-stage pipeline — and reports false at end of trace.
+// six-stage pipeline — and reports false at end of trace. Under the bin
+// pipeline the batch (and its speculative sketch) comes from the front
+// stage's ready ring instead of the source directly; everything else —
+// flushes, arrivals, the stage chain, sink delivery — runs in strict
+// bin order on this goroutine either way.
 func (r *runner) step() bool {
-	b, ok := r.src.NextBatch()
-	if !ok {
-		return false
+	s := r.s
+	if r.pipe != nil {
+		slot := <-r.pipe.ready
+		if !slot.ok {
+			r.pipe.free <- slot
+			return false
+		}
+		r.batch = slot.batch
+		r.advance()
+		if slot.sketched {
+			s.specSketch = slot.sketch
+		}
+		r.lastBin = s.step(r.bin, &slot.batch)
+		s.specSketch = nil
+		// The bin is done with the slot: BinStats carries no references
+		// into the batch or sketch, so the front may refill it now.
+		r.pipe.free <- slot
+	} else {
+		b, ok := r.src.NextBatch()
+		if !ok {
+			return false
+		}
+		r.batch = b
+		r.advance()
+		r.lastBin = s.step(r.bin, &r.batch)
 	}
-	r.batch = b
+	r.sink.OnBin(&r.lastBin)
+	if s.cfg.Probe != nil {
+		s.cfg.Probe(r.bin)
+	}
+	r.bin++
+	return true
+}
+
+// advance handles the work that precedes a bin's stage chain.
+func (r *runner) advance() {
 	s := r.s
 	// Measurement interval boundary: flush results, rotate hashes. This
 	// must happen before mid-run arrivals join — a query arriving exactly
@@ -440,17 +519,18 @@ func (r *runner) step() bool {
 			r.sink.OnQuery(len(s.qs)-1, s.qs[len(s.qs)-1].q.Name())
 		}
 	}
-	r.lastBin = s.step(r.bin, &r.batch)
-	r.sink.OnBin(&r.lastBin)
-	if s.cfg.Probe != nil {
-		s.cfg.Probe(r.bin)
-	}
-	r.bin++
-	return true
 }
 
-// finish flushes the last open interval into the sink.
+// finish flushes the last open interval into the sink and releases the
+// run's pool goroutines.
 func (r *runner) finish() {
+	if r.pipe != nil {
+		r.pipe.stop()
+	}
+	if r.s.execPool != nil {
+		r.s.execPool.close()
+		r.s.execPool = nil
+	}
 	r.lastIvr = r.s.flush(r.curInterval)
 	r.sink.OnInterval(&r.lastIvr)
 }

@@ -1,0 +1,227 @@
+package loadshed
+
+// pipeline.go — the two-deep bin pipeline (DESIGN.md §10).
+//
+// The sequential runner leaves cores idle between execute fan-outs:
+// extraction for bin N+1 cannot start until feedback for bin N has run.
+// The stages are not independent, though — admit(N+1) reads the
+// governor delay that feedback(N) wrote, and Predict(N+1) reads the MLR
+// history that execute(N)'s Observe calls appended to — so the pipeline
+// overlaps only the one half of the bin that is a pure function of the
+// captured batch: sketching (hashing every packet's aggregate keys into
+// the batch bitmaps). A front goroutine pulls batches from the source
+// and speculatively sketches each wire batch, chunk-parallel across the
+// front half of Config.Workers; the back stage (the caller's goroutine)
+// then runs admit → … → feedback for bin N in strict bin order, exactly
+// as the sequential engine does, while the front works on bin N+1.
+//
+// Speculation: the front sketches the wire batch, but extraction is
+// defined over the admitted batch. Admission is a prefix — tail drop
+// loses the newest packets — so the back stage validates the sketch by
+// packet count and, on the rare mis-speculation (a DAG-drop bin),
+// re-sketches the admitted prefix in place. Everything downstream of
+// the sketch therefore sees bit-identical state for any worker count.
+//
+// Ring ownership: two binSlots cycle between a free and a ready
+// channel. A slot is owned by the front goroutine from free-receive to
+// ready-send, and by the back stage from ready-receive to free-send;
+// the channel operations carry the happens-before edges, so neither
+// side ever reads the other's generation of batch or sketch. Each slot
+// owns one Sketch (the two ping-ponged scratch generations); the
+// extractor's own internal sketch is untouched in pipelined runs, and
+// every consumer reads the bin's sketch through BinContext.sketch,
+// which points at whichever generation carried the bin.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/features"
+	"repro/internal/pkt"
+	"repro/internal/trace"
+)
+
+// pipelined reports whether a run under this config uses the two-deep
+// bin pipeline. Workers == 1 (or NoPipeline) selects the strictly
+// sequential loop; the two paths are bit-identical, so the choice is
+// purely about throughput.
+func (c Config) pipelined() bool { return c.Workers >= 2 && !c.NoPipeline }
+
+// splitWorkers divides Config.Workers between the front-stage sketch
+// pool and the back-stage execute pool: the front gets the floor half
+// (at least one — the front goroutine itself), execute the rest. The
+// split keeps both halves busy because sketching and query execution
+// cost the same order of work per packet; see the table in DESIGN.md
+// §10.
+func splitWorkers(w int) (front, execute int) {
+	front = w / 2
+	if front < 1 {
+		front = 1
+	}
+	return front, w - front
+}
+
+// binSlot is one generation of the pipeline ring: a captured batch and
+// the speculative sketch of its wire packets.
+type binSlot struct {
+	batch    pkt.Batch
+	ok       bool // false: end of trace, batch/sketch are meaningless
+	sketched bool // front sketched the wire batch (predictive runs only)
+	sketch   *features.Sketch
+}
+
+// pipeline is the ring and the front stage's machinery. Slots, channels
+// and the chunk sketcher persist on the System across runs; the worker
+// pool and front goroutine are per-run, so an idle System holds no
+// goroutines.
+type pipeline struct {
+	slots [2]binSlot
+	free  chan *binSlot
+	ready chan *binSlot
+
+	frontWorkers int
+	cs           *features.ChunkSketcher
+	pool         *staticPool          // per-run; nil while idle or when frontWorkers == 1
+	runFn        func(int, func(int)) // p.pool.run, bound once per run
+}
+
+// ensurePipeline lazily builds the persistent half of the pipeline.
+func (s *System) ensurePipeline() *pipeline {
+	if s.pipe == nil {
+		front, _ := splitWorkers(s.cfg.Workers)
+		p := &pipeline{
+			free:         make(chan *binSlot, 2),
+			ready:        make(chan *binSlot, 2),
+			frontWorkers: front,
+			cs:           features.NewChunkSketcher(s.globalExt, front),
+		}
+		for i := range p.slots {
+			p.slots[i].sketch = features.NewSketch()
+		}
+		s.pipe = p
+	}
+	return s.pipe
+}
+
+// begin arms the ring for one run and starts the front stage: both
+// slots on free, a fresh helper pool (the front goroutine is the pool's
+// missing worker), and the front goroutine pulling from src. The front
+// exits on its own when the source is exhausted, after handing the back
+// stage an ok=false slot; stop() then only has to tear down the pool.
+func (p *pipeline) begin(src trace.Source, sketch bool) {
+	for len(p.free) > 0 {
+		<-p.free
+	}
+	for len(p.ready) > 0 {
+		<-p.ready
+	}
+	p.free <- &p.slots[0]
+	p.free <- &p.slots[1]
+	if p.frontWorkers > 1 {
+		p.pool = newStaticPool(p.frontWorkers - 1)
+		p.runFn = p.pool.run
+	}
+	go p.front(src, sketch)
+}
+
+// stop tears down the per-run machinery. The caller guarantees the run
+// was driven to end of trace, so the front goroutine has already
+// returned and the pool is idle.
+func (p *pipeline) stop() {
+	if p.pool != nil {
+		p.pool.close()
+		p.pool, p.runFn = nil, nil
+	}
+}
+
+// front is the pipeline's producer loop: capture the next batch,
+// speculatively sketch its wire packets (predictive runs), hand the
+// slot over. It is the source's only consumer, so batch order — and
+// with it every downstream RNG and history stream — is exactly the
+// sequential engine's. Sources hand off stable batches (see
+// trace.Source), so the slot holds the batch without copying.
+func (p *pipeline) front(src trace.Source, sketch bool) {
+	for {
+		slot := <-p.free
+		b, ok := src.NextBatch()
+		if !ok {
+			slot.ok = false
+			p.ready <- slot
+			return
+		}
+		slot.batch, slot.ok, slot.sketched = b, true, sketch
+		if sketch {
+			p.cs.Fill(slot.sketch, b.Pkts, p.runFn)
+		}
+		p.ready <- slot
+	}
+}
+
+// staticPool is a persistent fixed-size worker pool with the same
+// index-handout contract as parallelIndexed, for call sites on the
+// per-bin hot path: parallelIndexed spawns goroutines per call, which
+// is fine once per bin for the execute fan-out but would double the
+// per-bin goroutine churn if the front stage did it too. run is
+// zero-alloc when fn is prebuilt (the ChunkSketcher's chunk body is).
+type staticPool struct {
+	workers int
+	fn      func(int)
+	n       int
+	next    atomic.Int64
+	start   chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newStaticPool(workers int) *staticPool {
+	p := &staticPool{
+		workers: workers,
+		start:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for k := 0; k < workers; k++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *staticPool) worker() {
+	for {
+		select {
+		case <-p.start:
+		case <-p.done:
+			return
+		}
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= p.n {
+				break
+			}
+			p.fn(i)
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes fn(0) … fn(n-1) across the pool's workers and the
+// calling goroutine, returning when all have finished. One run at a
+// time; the caller owns the pool.
+func (p *staticPool) run(n int, fn func(int)) {
+	p.fn, p.n = fn, n
+	p.next.Store(0)
+	p.wg.Add(p.workers)
+	for k := 0; k < p.workers; k++ {
+		p.start <- struct{}{}
+	}
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i)
+	}
+	p.wg.Wait()
+}
+
+// close releases the pool's goroutines. The pool must be idle.
+func (p *staticPool) close() { close(p.done) }

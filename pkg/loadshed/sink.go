@@ -27,6 +27,13 @@ import (
 // stream, calls are sequential and ordered, but a Cluster delivers each
 // shard's stream from the shard-runner pool, so a sink shared between
 // shards must be safe for concurrent use (per-shard sinks need not be).
+//
+// The bin pipeline (DESIGN.md §10) does not weaken either contract:
+// sinks are always called from the back stage, in bin order, after the
+// bin's ring slot has been handed back to the front — BinStats and
+// IntervalResults never reference the slot's batch or sketch, so the
+// records a sink sees (and may retain, or must not retain, per the
+// TransientSink rules below) are untouched by the front goroutine.
 type Sink interface {
 	OnQuery(index int, name string)
 	OnBin(b *BinStats)

@@ -72,6 +72,11 @@ type BinContext struct {
 	bufferLoss bool            // admit: §4.1 soft buffer-occupancy signal
 	overhead   float64         // platformOverhead + extractPredict cycles
 	fv         features.Vector // extractPredict: full-stream features
+	// sketch is the admitted batch's bitmap sketch (extractPredict):
+	// the front stage's validated speculative sketch under the bin
+	// pipeline, the global extractor's internal sketch otherwise.
+	// Full-rate queries merge it instead of re-hashing in executeQuery.
+	sketch *features.Sketch
 	rates      []float64       // decideShedding: per-query sampling rates
 	shedCycles float64         // execute: sampling + re-extraction cycles
 	exec       []execResult    // execute: per-query slots, merged in index order
@@ -198,13 +203,28 @@ func (s *System) extractPredict(bc *BinContext) {
 		return
 	}
 	var predSum float64
-	opsBefore := s.globalExt.Ops
-	// Extract returns the extractor's scratch vector — no per-bin
-	// allocation. It stays valid for the whole bin (workers read it in
-	// execute) because the next write to it is the next bin's
+	// Resolve the admitted batch's sketch. Under the bin pipeline the
+	// front stage speculatively sketched the wire batch; admission only
+	// ever truncates the batch's tail, so an equal packet count means
+	// the sketch is exactly the admitted batch's and the expensive
+	// hashing already happened off this goroutine. A mismatch (a rare
+	// DAG-drop bin) re-sketches the admitted prefix in place, restoring
+	// sequential semantics at sequential cost.
+	sk := s.specSketch
+	if sk == nil {
+		sk = s.globalExt.Sketch()
+		s.globalExt.SketchInto(sk, bc.Admitted.Pkts)
+	} else if sk.Pkts() != len(bc.Admitted.Pkts) {
+		s.globalExt.SketchInto(sk, bc.Admitted.Pkts)
+	}
+	bc.sketch = sk
+	s.globalExt.Ops += sk.Ops()
+	bc.overhead += feCostPerOp * float64(sk.Ops())
+	// FinishSketchInto writes the extractor's scratch vector — no
+	// per-bin allocation. It stays valid for the whole bin (workers read
+	// it in execute) because the next write to it is the next bin's
 	// extractPredict, on this goroutine, after the pool has drained.
-	bc.fv = s.globalExt.Extract(&bc.Admitted)
-	bc.overhead += feCostPerOp * float64(s.globalExt.Ops-opsBefore)
+	bc.fv = s.globalExt.ExtractFromSketch(sk, float64(bc.Admitted.Packets()), float64(bc.Admitted.Bytes()))
 	for i, rq := range s.qs {
 		var fit, fcbf int64
 		if rq.mlr != nil {
@@ -351,7 +371,14 @@ func (s *System) execute(bc *BinContext) {
 		// every bin.
 		s.execFn = func(i int) { s.executeQuery(&s.bc, i) }
 	}
-	parallelIndexed(len(s.qs), s.cfg.Workers, s.execFn)
+	if s.execPool != nil {
+		// The persistent pool replaces parallelIndexed's per-bin
+		// goroutine spawns on the hot path; same index-handout contract,
+		// with the run goroutine as the pool's remaining worker.
+		s.execPool.run(len(s.qs), s.execFn)
+	} else {
+		parallelIndexed(len(s.qs), s.execWk, s.execFn)
+	}
 
 	// Deterministic merge: index order fixes the floating-point
 	// summation order regardless of which worker ran which query.
@@ -444,18 +471,19 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 		customMode := rq.shed != nil && rq.shed.Mode() == custom.ModeCustom
 		disabled := rq.shed != nil && rq.shed.Mode() == custom.ModeDisabled
 		if !(customMode && rate <= 0) && !disabled {
-			// ExtractFromBatchOf returns rq.ext's scratch vector without
+			// ExtractFromSketch returns rq.ext's scratch vector without
 			// allocating; it only has to live until Observe copies it into
 			// the predictor's history just below. Safe on the worker pool:
-			// rq.ext is query-owned, and the shared source extractors are
-			// only read (their batch bitmaps are frozen by the earlier
-			// stages).
+			// rq.ext is query-owned, and the source sketches are only read
+			// (bc.sketch and the shed extractor's batch state are frozen by
+			// the earlier stages; under the bin pipeline the front stage
+			// writes only the other ring generation's sketch).
 			var qf features.Vector
 			if rate >= 1 || customMode {
 				// Stream identical to the full batch: merge, don't rescan.
-				qf = rq.ext.ExtractFromBatchOf(s.globalExt, bc.fv[features.IdxPackets], bc.fv[features.IdxBytes])
+				qf = rq.ext.ExtractFromSketch(bc.sketch, bc.fv[features.IdxPackets], bc.fv[features.IdxBytes])
 			} else {
-				qf = rq.ext.ExtractFromBatchOf(s.shedExt, float64(len(qb.Pkts)), float64(qb.Bytes()))
+				qf = rq.ext.ExtractFromSketch(s.shedExt.Sketch(), float64(len(qb.Pkts)), float64(qb.Bytes()))
 			}
 			if spiked {
 				// §3.2.4: measurements corrupted by context switches
