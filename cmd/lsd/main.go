@@ -20,12 +20,30 @@
 //
 //	lsd -stream -preset cesca2 -max-bins -1 -overload 2    # run forever
 //	lsd -stream -trace big.bin -report 30s
+//
+// With -serve ADDR the process becomes a long-running service: packets
+// arrive over the ingest source named by -ingest (a live UDP or unixgram
+// socket, a tail-followed trace file, or the unbounded generator), and
+// ADDR serves the HTTP admin plane — /healthz, /readyz, /metrics
+// (Prometheus), and GET/POST/DELETE /queries for changing the query set
+// without a restart. -feed replays generated traffic into a serving
+// instance's socket, paced by wall clock:
+//
+//	lsd -serve 127.0.0.1:9091 -ingest udp://127.0.0.1:9000
+//	lsd -feed udp://127.0.0.1:9000 -preset cesca2 -dur 60s
+//
+// All modes shut down cleanly on SIGINT/SIGTERM: the engine stops at
+// the next bin boundary, flushes the open measurement interval, and the
+// final report still prints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/stats"
@@ -50,8 +68,19 @@ func main() {
 		stream    = flag.Bool("stream", false, "constant-memory streaming runtime: rolling report, no reference run")
 		maxBins   = flag.Int("max-bins", 0, "with -stream on a generated trace: run for N batches (-1 = forever, 0 = derive from -dur)")
 		report    = flag.Duration("report", 10*time.Second, "with -stream: trace time between rolling reports")
+		serve     = flag.String("serve", "", "run as a service: HTTP admin plane address (e.g. 127.0.0.1:9091)")
+		ingest    = flag.String("ingest", "gen", "with -serve: packet source — gen | udp://host:port | unix:///path | tail:file")
+		feed      = flag.String("feed", "", "replay generated traffic into a serving lsd at udp://host:port or unix:///path")
+		capFlag   = flag.Float64("capacity", 0, "with -serve: cycle budget per bin (0 = size from a generated probe via -overload)")
+		window    = flag.Duration("window", time.Minute, "with -serve: rolling-metrics window")
 	)
 	flag.Parse()
+
+	// Every mode shuts down on SIGINT/SIGTERM by cancelling this context:
+	// the engine finishes its current bin, flushes the open interval, and
+	// the mode's final report still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	mkQs := func() []loadshed.Query {
 		if *full {
@@ -60,11 +89,34 @@ func main() {
 		return loadshed.StandardQueries(loadshed.QueryConfig{Seed: *seed})
 	}
 
+	if *feed != "" {
+		runFeed(ctx, *feed, *preset, *seed, *dur, *scale)
+		return
+	}
+	if *serve != "" {
+		runServe(ctx, mkQs, serveOpts{
+			admin:    *serve,
+			ingest:   *ingest,
+			preset:   *preset,
+			seed:     *seed,
+			dur:      *dur,
+			scale:    *scale,
+			overload: *overload,
+			capacity: *capFlag,
+			window:   *window,
+			scheme:   *scheme,
+			strategy: *strategy,
+			customOn: *customOn,
+			workers:  *workers,
+		})
+		return
+	}
+
 	if *stream {
 		if *shards > 1 {
 			die(fmt.Errorf("-stream does not support -shards: splitting by flow hash materializes the whole trace, which is what -stream exists to avoid (use the Cluster.Stream API with per-link sources instead)"))
 		}
-		runStream(mkQs, *traceFile, *preset, *seed, *dur, *scale, *maxBins, *report, *overload, *scheme, *strategy, *customOn, *workers)
+		runStream(ctx, mkQs, *traceFile, *preset, *seed, *dur, *scale, *maxBins, *report, *overload, *scheme, *strategy, *customOn, *workers)
 		return
 	}
 
@@ -99,7 +151,7 @@ func main() {
 	ref := loadshed.Reference(src, mkQs(), *seed+1)
 
 	fmt.Printf("running %s ...\n", *scheme)
-	res := loadshed.New(cfg, mkQs()).Run(src)
+	res, runErr := loadshed.New(cfg, mkQs()).RunContext(ctx, src)
 
 	fmt.Printf("\n%-6s %-9s %-9s %-8s %-6s %-6s\n", "sec", "pkts/s", "drops/s", "rate", "occ", "cpu%")
 	for i := 0; i < len(res.Bins); i += 10 {
@@ -118,6 +170,10 @@ func main() {
 			i/10, pkts, drops, rate/float64(n), occ/float64(n), 100*cpu/float64(n))
 	}
 
+	if runErr != nil {
+		fmt.Printf("\nsignal received after %d bins: run stopped at a bin boundary; accuracy comparison skipped (it needs the complete run)\n", len(res.Bins))
+		return
+	}
 	errs := loadshed.MeanErrors(mkQs(), res, ref)
 	fmt.Printf("\nper-query mean accuracy error vs lossless reference:\n")
 	for _, q := range mkQs() {
@@ -134,7 +190,7 @@ func main() {
 // that prints a report every reportEvery of trace time. No lossless
 // reference run is possible online, so the accuracy section is replaced
 // by the rolling unsampled-fraction proxy.
-func runStream(mkQs func() []loadshed.Query, traceFile, preset string, seed uint64, dur time.Duration, scale float64, maxBins int, reportEvery time.Duration, overload float64, scheme, strategy string, customOn bool, workers int) {
+func runStream(ctx context.Context, mkQs func() []loadshed.Query, traceFile, preset string, seed uint64, dur time.Duration, scale float64, maxBins int, reportEvery time.Duration, overload float64, scheme, strategy string, customOn bool, workers int) {
 	openStream := func(bins int) (loadshed.Source, func(), error) {
 		if traceFile != "" {
 			f, err := loadshed.OpenTraceFile(traceFile)
@@ -161,9 +217,7 @@ func runStream(mkQs func() []loadshed.Query, traceFile, preset string, seed uint
 	// NextBatch cannot surface read errors, so a truncated or corrupt
 	// file would otherwise yield a confident demand number measured
 	// over whatever prefix happened to parse.
-	if f, ok := probe.(*loadshed.TraceFile); ok {
-		die(f.Err())
-	}
+	die(loadshed.SourceErr(probe))
 	closeProbe()
 	capacity := ovh + demand/overload
 	fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), capacity %.3g (overload %.2fx)\n",
@@ -197,7 +251,7 @@ func runStream(mkQs func() []loadshed.Query, traceFile, preset string, seed uint
 		"trace-time", "pkts/s", "drop%", "unsampled%", "rate", "occ", "cpu%")
 	sys := loadshed.New(cfg, mkQs())
 	bins := 0
-	sys.Stream(src, loadshed.Tee(roll, loadshed.SinkFuncs{
+	streamErr := sys.StreamContext(ctx, src, loadshed.Tee(roll, loadshed.SinkFuncs{
 		Bin: func(b *loadshed.BinStats) {
 			// Snapshot scans the whole window; only pay for it on a
 			// reporting boundary, not every bin.
@@ -211,9 +265,12 @@ func runStream(mkQs func() []loadshed.Query, traceFile, preset string, seed uint
 				s.MeanGlobalRate, s.MeanDelay, 100*s.MeanUtil)
 		},
 	}))
-	if f, ok := src.(*loadshed.TraceFile); ok {
-		die(f.Err())
+	if streamErr != nil {
+		fmt.Println("\nsignal received: stream stopped at a bin boundary")
 	}
+	// A truncated or corrupt trace file ends the stream silently from
+	// NextBatch's point of view; surface it and exit nonzero.
+	die(loadshed.SourceErr(src))
 
 	s := roll.Snapshot()
 	dropPct := 0.0

@@ -1,0 +1,341 @@
+// serve.go — the long-running service mode of lsd: live packet ingest
+// feeding the streaming engine, with an HTTP admin plane for health,
+// Prometheus metrics and dynamic query registration. This is the
+// deployment shape of the thesis system (§2.1): a monitor that runs
+// indefinitely against a live link, sheds load under overload, and is
+// operated — not restarted — when the query set changes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pkg/loadshed"
+)
+
+// serveOpts carries the flag values the serve mode consumes.
+type serveOpts struct {
+	admin    string // HTTP admin listen address
+	ingest   string // gen | udp://host:port | unix:///path | tail:path
+	preset   string
+	seed     uint64
+	dur      time.Duration
+	scale    float64
+	overload float64
+	capacity float64 // explicit cycle budget per bin; 0 = probe
+	window   time.Duration
+	scheme   string
+	strategy string
+	customOn bool
+	workers  int
+}
+
+// serveSink guards a RollingStats for concurrent reads: the engine
+// writes it from the run loop while HTTP handlers snapshot it. It stays
+// transient, so the engine's zero-allocation streaming path is intact.
+type serveSink struct {
+	mu    sync.Mutex
+	roll  *loadshed.RollingStats
+	ready bool // first bin processed — the readiness signal
+}
+
+func (s *serveSink) OnQuery(i int, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roll.OnQuery(i, name)
+}
+
+func (s *serveSink) OnBin(b *loadshed.BinStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roll.OnBin(b)
+	s.ready = true
+}
+
+func (s *serveSink) OnInterval(iv *loadshed.IntervalResults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roll.OnInterval(iv)
+}
+
+// OnQueryRemove implements loadshed.QueryRemovalSink.
+func (s *serveSink) OnQueryRemove(i int, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roll.OnQueryRemove(i, name)
+}
+
+// SinkTransient implements loadshed.TransientSink.
+func (s *serveSink) SinkTransient() bool { return true }
+
+func (s *serveSink) snapshot() (loadshed.RollingSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roll.Snapshot(), s.ready
+}
+
+// openIngest turns an ingest spec into a Source. The returned closer is
+// safe to call more than once and from a context callback: closing the
+// source is how a signal unblocks an engine waiting on a silent link.
+func openIngest(spec string, o serveOpts) (loadshed.Source, func(), string, error) {
+	switch {
+	case spec == "gen":
+		cfg, err := loadshed.PresetConfig(o.preset, o.seed, o.dur, o.scale)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		cfg.MaxBins = -1 // run until signalled
+		return loadshed.NewGenerator(cfg), func() {}, "generator (unbounded, preset " + o.preset + ")", nil
+	case strings.HasPrefix(spec, "udp://"):
+		l, err := loadshed.ListenLive("udp", strings.TrimPrefix(spec, "udp://"), loadshed.LiveConfig{})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return l, func() { l.Close() }, "udp " + l.Addr().String(), nil
+	case strings.HasPrefix(spec, "unix://"):
+		path := strings.TrimPrefix(spec, "unix://")
+		l, err := loadshed.ListenLive("unixgram", path, loadshed.LiveConfig{})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return l, func() { l.Close() }, "unixgram " + path, nil
+	case strings.HasPrefix(spec, "tail:"):
+		path := strings.TrimPrefix(spec, "tail:")
+		ts, err := loadshed.TailFile(path, 0)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return ts, func() { ts.Close() }, "tail " + path, nil
+	default:
+		return nil, nil, "", fmt.Errorf("unknown ingest spec %q (want gen, udp://host:port, unix:///path or tail:path)", spec)
+	}
+}
+
+// runServe is the service main loop: open ingest, size the budget,
+// start the admin plane, stream until a signal or the source ends, then
+// shut both down in order and surface any source error.
+func runServe(ctx context.Context, mkQs func() []loadshed.Query, o serveOpts) {
+	src, closeSrc, desc, err := openIngest(o.ingest, o)
+	die(err)
+	fmt.Printf("ingest: %s\n", desc)
+
+	capacity := o.capacity
+	if capacity <= 0 {
+		// No explicit budget: size one from a bounded generated probe of
+		// the preset profile, the same procedure as -stream. For live
+		// ingest the probe is a stated proxy — the budget models the
+		// machine, not the (unknown) incoming traffic.
+		fmt.Println("measuring full-rate demand (generated probe) ...")
+		cfg, err := loadshed.PresetConfig(o.preset, o.seed, o.dur, o.scale)
+		die(err)
+		ovh, demand := loadshed.MeasureLoad(loadshed.NewGenerator(cfg), mkQs(), o.seed+1)
+		capacity = ovh + demand/o.overload
+		fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), capacity %.3g (overload %.2fx)\n",
+			demand, ovh, capacity, o.overload)
+	}
+
+	cfg := loadshed.Config{
+		Capacity:       capacity,
+		Seed:           o.seed + 2,
+		CustomShedding: o.customOn,
+		Workers:        o.workers,
+	}
+	cfg.Scheme, err = loadshed.ParseScheme(o.scheme)
+	die(err)
+	if cfg.Scheme == loadshed.Predictive {
+		cfg.Strategy, err = loadshed.StrategyByName(o.strategy)
+		die(err)
+	}
+
+	sys := loadshed.New(cfg, mkQs())
+	windowBins := int(o.window / src.TimeBin())
+	sink := &serveSink{roll: loadshed.NewRollingStats(windowBins)}
+	live, _ := src.(*loadshed.LiveSource)
+
+	ln, err := net.Listen("tcp", o.admin)
+	die(err)
+	srv := &http.Server{Handler: adminMux(sys, sink, live, o.seed)}
+	go srv.Serve(ln)
+	fmt.Printf("admin plane on http://%s (healthz, readyz, metrics, queries)\n", ln.Addr())
+
+	// A signal cancels ctx; the engine stops at the next bin boundary.
+	// A blocking live or tail source must also be woken, which closing
+	// it does — NextBatch then reports end-of-stream.
+	unblock := context.AfterFunc(ctx, closeSrc)
+	defer unblock()
+
+	fmt.Printf("serving (%s scheme) ...\n", o.scheme)
+	streamErr := sys.StreamContext(ctx, src, sink)
+	closeSrc()
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shCtx)
+
+	if streamErr != nil {
+		fmt.Println("signal received: stream stopped at a bin boundary")
+	}
+	if err := loadshed.SourceErr(src); err != nil {
+		die(fmt.Errorf("ingest failed: %w", err))
+	}
+
+	snap, _ := sink.snapshot()
+	dropPct := 0.0
+	if snap.WirePkts > 0 {
+		dropPct = 100 * float64(snap.DropPkts) / float64(snap.WirePkts)
+	}
+	fmt.Printf("served %d bins, %d intervals: %d of %d packets dropped uncontrolled (%.3f%%)\n",
+		snap.Bins, snap.Intervals, snap.DropPkts, snap.WirePkts, dropPct)
+}
+
+// adminMux builds the admin plane. Handlers run concurrently with the
+// stream: snapshots go through serveSink's mutex, registry calls go
+// through the engine's own AddQuery/RemoveQuery locking, and live-source
+// counters are atomics.
+func adminMux(sys *loadshed.System, sink *serveSink, live *loadshed.LiveSource, seed uint64) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if _, ready := sink.snapshot(); !ready {
+			http.Error(w, "no bins processed yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, _ := sink.snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap.WritePrometheus(w)
+		fmt.Fprintln(w, "# HELP lsd_up Whether the monitor is serving.")
+		fmt.Fprintln(w, "# TYPE lsd_up gauge")
+		fmt.Fprintln(w, "lsd_up 1")
+		if live != nil {
+			fmt.Fprintln(w, "# HELP lsd_ingest_bad_frames_total Frames rejected by wire-format validation.")
+			fmt.Fprintln(w, "# TYPE lsd_ingest_bad_frames_total counter")
+			fmt.Fprintf(w, "lsd_ingest_bad_frames_total %d\n", live.BadFrames())
+			fmt.Fprintln(w, "# HELP lsd_ingest_dropped_bins_total Whole bins discarded because the engine lagged the listener.")
+			fmt.Fprintln(w, "# TYPE lsd_ingest_dropped_bins_total counter")
+			fmt.Fprintf(w, "lsd_ingest_dropped_bins_total %d\n", live.DroppedBins())
+		}
+	})
+
+	type queryInfo struct {
+		Name   string  `json:"name"`
+		Active bool    `json:"active"`
+		Rate   float64 `json:"rate"`
+	}
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		snap, _ := sink.snapshot()
+		out := make([]queryInfo, len(snap.Queries))
+		for i, q := range snap.Queries {
+			out[i] = queryInfo{Name: q, Active: snap.Active[i], Rate: snap.MeanRates[i]}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+
+	// POST /queries registers a query by kind; it joins at the next
+	// measurement-interval boundary (the engine's quiesce point), so the
+	// success status is 202 Accepted, not 200. Accepts ?kind=... or a
+	// JSON body {"kind": "...", "seed": n}.
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		req := struct {
+			Kind string `json:"kind"`
+			Seed uint64 `json:"seed"`
+		}{Seed: seed}
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else {
+			req.Kind = r.FormValue("kind")
+		}
+		q, err := loadshed.QueryByName(req.Kind, loadshed.QueryConfig{Seed: req.Seed})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := sys.AddQuery(q); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "accepted", "query": q.Name(),
+			"note": "joins at the next measurement-interval boundary",
+		})
+	})
+
+	mux.HandleFunc("DELETE /queries/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := sys.RemoveQuery(name); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "accepted", "query": name,
+			"note": "retires after its final flush at the next interval boundary",
+		})
+	})
+
+	return mux
+}
+
+// runFeed is the probe half of a live deployment: it generates the
+// preset traffic profile and forwards it to a serving lsd's ingest
+// socket, paced so each batch is sent at its trace-time offset — the
+// wall-clock shape a capture process would produce.
+func runFeed(ctx context.Context, spec, preset string, seed uint64, dur time.Duration, scale float64) {
+	var network, addr string
+	switch {
+	case strings.HasPrefix(spec, "udp://"):
+		network, addr = "udp", strings.TrimPrefix(spec, "udp://")
+	case strings.HasPrefix(spec, "unix://"):
+		network, addr = "unixgram", strings.TrimPrefix(spec, "unix://")
+	default:
+		die(fmt.Errorf("unknown feed target %q (want udp://host:port or unix:///path)", spec))
+	}
+	cfg, err := loadshed.PresetConfig(preset, seed, dur, scale)
+	die(err)
+	snd, err := loadshed.DialLive(network, addr)
+	die(err)
+	defer snd.Close()
+
+	src := loadshed.NewGenerator(cfg)
+	start := time.Now()
+	sent := 0
+	for ctx.Err() == nil {
+		b, ok := src.NextBatch()
+		if !ok {
+			break
+		}
+		if d := time.Until(start.Add(b.Start)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				fmt.Printf("feed interrupted after %d packets\n", sent)
+				return
+			}
+		}
+		if err := snd.SendBatch(&b); err != nil {
+			die(fmt.Errorf("feed: %w", err))
+		}
+		sent += len(b.Pkts)
+	}
+	fmt.Printf("fed %d packets over %v of trace time to %s\n", sent, dur, spec)
+}

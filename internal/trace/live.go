@@ -1,0 +1,334 @@
+package trace
+
+// live.go — live packet ingest: a Source backed by a datagram socket
+// (UDP or unixgram) instead of a file or generator, for the serving
+// deployment of cmd/lsd. Probes forward captured packets as
+// length-prefixed frames; the listener accumulates them into wall-clock
+// time bins and delivers one batch per bin, silent bins included, so
+// the engine's bin cadence tracks real time the way a CoMo capture
+// process's does.
+//
+// Wire framing (little endian, matching the trace file format):
+//
+//	frame:  frameLen uint16   // length of the record that follows
+//	record: ts i64, srcIP u32, dstIP u32, srcPort u16, dstPort u16,
+//	        proto u8, flags u8, size u32, payloadLen u16, payload
+//
+// A datagram carries any number of back-to-back frames. Frames are
+// validated individually: a frame whose length or payload bound is
+// implausible ends decoding of that datagram (datagram boundaries make
+// resynchronization automatic) and increments BadFrames; well-formed
+// neighbours in earlier frames are kept. Lost datagrams are simply
+// absent — UDP loss shows up as missing packets, the same way a
+// saturated capture card drops on the wire.
+//
+// A LiveSource intentionally breaks the Source determinism contract
+// (live traffic cannot be replayed): Reset is a no-op and NextBatch
+// blocks until the next wall-clock bin closes. Close unblocks a pending
+// NextBatch, which is how a serving process cancels a stream that is
+// waiting on a silent link.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// frameHdrLen is the fixed-size prefix of one framed packet record:
+// the 26-byte packet header plus the u16 payload length.
+const frameHdrLen = 28
+
+// maxDatagram bounds the datagrams LiveSender packs; 8 KB stays under
+// the default unixgram SO_SNDBUF and fragments at most a handful of
+// ways on loopback UDP.
+const maxDatagram = 8192
+
+// LiveConfig parameterizes a live listener.
+type LiveConfig struct {
+	// Bin is the wall-clock batch duration; DefaultTimeBin if zero.
+	Bin time.Duration
+	// Backlog is the depth of the delivered-batch channel between the
+	// listener goroutine and NextBatch (default 16 bins). When the
+	// consumer falls further behind, whole bins are dropped and counted
+	// in DroppedBins — the ingest analogue of a capture-buffer overflow.
+	Backlog int
+}
+
+// LiveSource is a Source fed by a datagram socket. Construct with
+// ListenLive; feed with LiveSender (or anything emitting the frame
+// format above); stop with Close.
+type LiveSource struct {
+	conn  net.PacketConn
+	bin   time.Duration
+	out   chan pkt.Batch
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	unixPath string // non-empty: socket file to unlink on Close
+
+	closing   atomic.Bool
+	badFrames atomic.Int64
+	dropBins  atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+// ListenLive opens a datagram listener on network ("udp", "udp4",
+// "udp6" or "unixgram") and address, and starts binning received
+// packets immediately.
+func ListenLive(network, address string, cfg LiveConfig) (*LiveSource, error) {
+	switch network {
+	case "udp", "udp4", "udp6", "unixgram":
+	default:
+		return nil, fmt.Errorf("trace: live ingest supports udp/unixgram, not %q", network)
+	}
+	conn, err := net.ListenPacket(network, address)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Bin <= 0 {
+		cfg.Bin = DefaultTimeBin
+	}
+	if cfg.Backlog <= 0 {
+		cfg.Backlog = 16
+	}
+	l := &LiveSource{
+		conn:  conn,
+		bin:   cfg.Bin,
+		out:   make(chan pkt.Batch, cfg.Backlog),
+		quit:  make(chan struct{}),
+		start: time.Now(),
+	}
+	if network == "unixgram" {
+		l.unixPath = address
+	}
+	l.wg.Add(1)
+	go l.listen()
+	return l, nil
+}
+
+// Addr returns the bound address (useful with ":0" UDP listeners).
+func (l *LiveSource) Addr() net.Addr { return l.conn.LocalAddr() }
+
+// listen is the ingest goroutine: it reads datagrams until the bin's
+// wall-clock deadline, emits the accumulated batch, and repeats. It
+// owns the out channel and closes it on exit.
+func (l *LiveSource) listen() {
+	defer l.wg.Done()
+	defer close(l.out)
+	buf := make([]byte, maxDatagram)
+	binIdx := 0
+	binEnd := l.start.Add(l.bin)
+	var cur []pkt.Packet
+	for {
+		l.conn.SetReadDeadline(binEnd)
+		n, _, err := l.conn.ReadFrom(buf)
+		if n > 0 {
+			cur = l.decodeFrames(buf[:n], cur)
+		}
+		if err == nil {
+			continue
+		}
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// Bin boundary. Emit the bin (empty ones included — a silent
+			// link still advances wall-clock time), then catch up if the
+			// process stalled across several bins.
+			cur = l.emit(cur, binIdx)
+			binIdx++
+			binEnd = binEnd.Add(l.bin)
+			for !time.Now().Before(binEnd) {
+				cur = l.emit(cur, binIdx)
+				binIdx++
+				binEnd = binEnd.Add(l.bin)
+			}
+			continue
+		}
+		// Closed (Close set the flag first) or a genuine socket error:
+		// flush the partial bin and end the stream.
+		if len(cur) > 0 {
+			l.emit(cur, binIdx)
+		}
+		if !l.closing.Load() {
+			l.mu.Lock()
+			l.err = err
+			l.mu.Unlock()
+		}
+		return
+	}
+}
+
+// emit finalizes one bin and hands it to the consumer. It returns the
+// packet scratch for the next bin: nil after a successful hand-off (the
+// consumer owns the slice now), the same storage recycled when the bin
+// was dropped because the consumer is too far behind.
+func (l *LiveSource) emit(cur []pkt.Packet, binIdx int) []pkt.Packet {
+	b := pkt.Batch{Start: time.Duration(binIdx) * l.bin, Bin: l.bin, Pkts: cur}
+	sortBatch(&b)
+	select {
+	case l.out <- b:
+		return nil
+	default:
+		l.dropBins.Add(1)
+		return cur[:0]
+	}
+}
+
+// decodeFrames appends every well-formed frame in one datagram to dst.
+func (l *LiveSource) decodeFrames(data []byte, dst []pkt.Packet) []pkt.Packet {
+	for len(data) >= 2 {
+		flen := int(binary.LittleEndian.Uint16(data[0:2]))
+		data = data[2:]
+		if flen < frameHdrLen || flen > len(data) {
+			l.badFrames.Add(1)
+			return dst
+		}
+		rec := data[:flen]
+		data = data[flen:]
+		var p pkt.Packet
+		p.Ts = int64(binary.LittleEndian.Uint64(rec[0:8]))
+		p.SrcIP = binary.LittleEndian.Uint32(rec[8:12])
+		p.DstIP = binary.LittleEndian.Uint32(rec[12:16])
+		p.SrcPort = binary.LittleEndian.Uint16(rec[16:18])
+		p.DstPort = binary.LittleEndian.Uint16(rec[18:20])
+		p.Proto = rec[20]
+		p.TCPFlags = rec[21]
+		p.Size = int(binary.LittleEndian.Uint32(rec[22:26]))
+		plen := int(binary.LittleEndian.Uint16(rec[26:28]))
+		if plen > pkt.SnapLen || frameHdrLen+plen != flen {
+			l.badFrames.Add(1)
+			return dst
+		}
+		if plen > 0 {
+			p.Payload = append([]byte(nil), rec[28:28+plen]...)
+		}
+		dst = append(dst, p)
+	}
+	if len(data) != 0 {
+		l.badFrames.Add(1)
+	}
+	return dst
+}
+
+// NextBatch implements Source: it blocks until the next wall-clock bin
+// closes (or drains a buffered one) and reports ok=false once Close has
+// ended the stream and every buffered bin is consumed.
+func (l *LiveSource) NextBatch() (pkt.Batch, bool) {
+	b, ok := <-l.out
+	return b, ok
+}
+
+// Reset implements Source. Live traffic cannot rewind; Reset is a
+// no-op so the engine's run setup works unchanged.
+func (l *LiveSource) Reset() {}
+
+// TimeBin implements Source.
+func (l *LiveSource) TimeBin() time.Duration { return l.bin }
+
+// Err returns the socket error that ended the stream, nil after a
+// clean Close.
+func (l *LiveSource) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// BadFrames counts frames rejected by validation since start.
+func (l *LiveSource) BadFrames() int64 { return l.badFrames.Load() }
+
+// DroppedBins counts whole bins discarded because the consumer lagged
+// more than the backlog.
+func (l *LiveSource) DroppedBins() int64 { return l.dropBins.Load() }
+
+// Close stops the listener: the socket closes (unblocking a pending
+// read), the ingest goroutine flushes its partial bin and exits, and
+// NextBatch drains whatever was buffered before reporting ok=false.
+// A unixgram socket file is removed.
+func (l *LiveSource) Close() error {
+	if !l.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := l.conn.Close()
+	l.wg.Wait()
+	if l.unixPath != "" {
+		os.Remove(l.unixPath)
+	}
+	return err
+}
+
+// LiveSender forwards batches to a live listener, packing frames
+// back-to-back into datagrams. It is the probe half of the ingest pair:
+// cmd/lsd -feed uses it to replay a generator or trace file into a
+// serving monitor, and tests use it as the reference encoder.
+type LiveSender struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// DialLive connects a sender to a live listener's network and address.
+func DialLive(network, address string) (*LiveSender, error) {
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSender{conn: conn, buf: make([]byte, 0, maxDatagram)}, nil
+}
+
+// SendBatch transmits every packet of b, flushing a datagram whenever
+// the next frame would overflow it.
+func (s *LiveSender) SendBatch(b *pkt.Batch) error {
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		need := 2 + frameHdrLen + len(p.Payload)
+		if len(s.buf)+need > maxDatagram {
+			if err := s.flush(); err != nil {
+				return err
+			}
+		}
+		s.buf = appendFrame(s.buf, p)
+	}
+	return s.flush()
+}
+
+func (s *LiveSender) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	_, err := s.conn.Write(s.buf)
+	s.buf = s.buf[:0]
+	return err
+}
+
+// Close flushes and closes the sender's socket.
+func (s *LiveSender) Close() error {
+	ferr := s.flush()
+	cerr := s.conn.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// appendFrame encodes one packet as a length-prefixed frame.
+func appendFrame(dst []byte, p *pkt.Packet) []byte {
+	var hdr [2 + frameHdrLen]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(frameHdrLen+len(p.Payload)))
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(p.Ts))
+	binary.LittleEndian.PutUint32(hdr[10:14], p.SrcIP)
+	binary.LittleEndian.PutUint32(hdr[14:18], p.DstIP)
+	binary.LittleEndian.PutUint16(hdr[18:20], p.SrcPort)
+	binary.LittleEndian.PutUint16(hdr[20:22], p.DstPort)
+	hdr[22] = p.Proto
+	hdr[23] = p.TCPFlags
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(p.Size))
+	binary.LittleEndian.PutUint16(hdr[28:30], uint16(len(p.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, p.Payload...)
+}

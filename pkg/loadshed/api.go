@@ -235,3 +235,87 @@ func WriteTrace(w io.Writer, src Source) error { return trace.WriteAll(w, src) }
 
 // MeasureTrace drains src and summarizes it, resetting it afterwards.
 func MeasureTrace(src Source) TraceStats { return trace.Measure(src) }
+
+// Live ingest and tail-follow sources, for serving deployments.
+
+type (
+	// LiveConfig parameterizes a live ingest listener.
+	LiveConfig = trace.LiveConfig
+	// LiveSource is a Source fed by a datagram socket (UDP or unixgram).
+	LiveSource = trace.LiveSource
+	// LiveSender forwards batches to a live listener in its wire framing.
+	LiveSender = trace.LiveSender
+	// TailSource follows a growing trace file as a writer appends to it.
+	TailSource = trace.TailSource
+)
+
+// ListenLive opens a live ingest listener on network ("udp", "udp4",
+// "udp6" or "unixgram") and address. Close it to end the stream.
+func ListenLive(network, address string, cfg LiveConfig) (*LiveSource, error) {
+	return trace.ListenLive(network, address, cfg)
+}
+
+// DialLive connects a sender to a live listener.
+func DialLive(network, address string) (*LiveSender, error) {
+	return trace.DialLive(network, address)
+}
+
+// TailFile opens a growing trace file for tail-follow replay; poll <= 0
+// selects the default poll interval.
+func TailFile(path string, poll time.Duration) (*TailSource, error) {
+	return trace.TailFile(path, poll)
+}
+
+// SourceErr reports the error that ended src's stream, for sources that
+// track one (trace files, live listeners, tails); nil for sources that
+// cannot fail mid-stream, and nil after a stream that ended cleanly.
+// Callers that stream untrusted or unreliable input should check it
+// when NextBatch reports the end.
+func SourceErr(src Source) error {
+	if e, ok := src.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// Dynamic query construction, for the admin plane.
+
+// queryKinds maps each Table 2.2 query name to its constructor with
+// default tunables, the form a serving process's registration API uses.
+var queryKinds = []struct {
+	name string
+	mk   func(cfg QueryConfig) Query
+}{
+	{"application", func(cfg QueryConfig) Query { return queries.NewApplication(cfg) }},
+	{"autofocus", func(cfg QueryConfig) Query { return queries.NewAutofocus(cfg, 0) }},
+	{"counter", func(cfg QueryConfig) Query { return queries.NewCounter(cfg) }},
+	{"flows", func(cfg QueryConfig) Query { return queries.NewFlows(cfg) }},
+	{"high-watermark", func(cfg QueryConfig) Query { return queries.NewHighWatermark(cfg) }},
+	{"p2p-detector", func(cfg QueryConfig) Query { return queries.NewP2PDetector(cfg) }},
+	{"pattern-search", func(cfg QueryConfig) Query { return queries.NewPatternSearch(cfg, nil) }},
+	{"super-sources", func(cfg QueryConfig) Query { return queries.NewSuperSources(cfg, 0) }},
+	{"top-k", func(cfg QueryConfig) Query { return queries.NewTopK(cfg, 0) }},
+	{"trace", func(cfg QueryConfig) Query { return queries.NewTraceQuery(cfg) }},
+}
+
+// QueryKinds lists the query names QueryByName accepts, sorted.
+func QueryKinds() []string {
+	out := make([]string, len(queryKinds))
+	for i, k := range queryKinds {
+		out[i] = k.name
+	}
+	return out
+}
+
+// QueryByName constructs a fresh instance of the named Table 2.2 query
+// with default tunables. The name is the query's own Name() string —
+// what result sinks and the /queries admin endpoint report.
+func QueryByName(name string, cfg QueryConfig) (Query, error) {
+	for _, k := range queryKinds {
+		if k.name == strings.ToLower(name) {
+			return k.mk(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("loadshed: unknown query kind %q (have %s)",
+		name, strings.Join(QueryKinds(), ", "))
+}

@@ -18,6 +18,7 @@ package loadshed
 // shedders.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -208,12 +209,25 @@ func (c *Cluster) Shards() []*System {
 // different shards' sinks run concurrently — a sink instance shared
 // between shards must be safe for concurrent use.
 func (c *Cluster) Stream(mk func(shard int, name string) Sink) {
+	c.StreamContext(context.Background(), mk)
+}
+
+// StreamContext is Stream with cancellation: when ctx fires, every
+// shard stops at its next bin boundary (each runner polls the same done
+// channel System.StreamContext uses), the open intervals flush to their
+// sinks, and all shard pipelines and pools are torn down before the
+// call returns. It returns ctx.Err() after a cancellation and nil after
+// every trace ends naturally.
+func (c *Cluster) StreamContext(ctx context.Context, mk func(shard int, name string) Sink) error {
+	done := ctx.Done()
 	for i, sh := range c.shards {
 		var sink Sink
 		if mk != nil {
 			sink = mk(i, sh.name)
 		}
 		sh.run = sh.sys.newRunner(sh.src, sink)
+		sh.run.done = done
+		sh.done = false
 	}
 	for c.stepAll() {
 		c.coordinate()
@@ -221,6 +235,7 @@ func (c *Cluster) Stream(mk func(shard int, name string) Sink) {
 	for _, sh := range c.shards {
 		sh.run.finish()
 	}
+	return ctx.Err()
 }
 
 // Run steps every shard through its trace in lockstep, coordinating the
@@ -228,8 +243,16 @@ func (c *Cluster) Stream(mk func(shard int, name string) Sink) {
 // slices; long-running deployments should call Stream with bounded
 // sinks instead.
 func (c *Cluster) Run() *ClusterResult {
+	res, _ := c.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cancellation: the returned record covers every
+// bin processed before ctx fired, and err is ctx.Err() if the run was
+// cut short.
+func (c *Cluster) RunContext(ctx context.Context) (*ClusterResult, error) {
 	sinks := make([]*resultSink, len(c.shards))
-	c.Stream(func(i int, _ string) Sink {
+	err := c.StreamContext(ctx, func(i int, _ string) Sink {
 		sinks[i] = newResultSink(c.shards[i].sys.cfg.Scheme)
 		return sinks[i]
 	})
@@ -242,7 +265,7 @@ func (c *Cluster) Run() *ClusterResult {
 		})
 	}
 	res.Aggregate = aggregateBins(res.Shards)
-	return res
+	return res, err
 }
 
 // stepAll advances every live shard by one bin, fanning the shards out

@@ -33,9 +33,12 @@
 package loadshed
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -308,6 +311,25 @@ type System struct {
 	// against the admitted batch; nil selects the sequential
 	// sketch-in-place path.
 	specSketch *features.Sketch
+
+	// Dynamic query registry (AddQuery/RemoveQuery). Callers queue ops
+	// under regMu from any goroutine; the run goroutine drains the queue
+	// at measurement-interval boundaries (and at run start), which is the
+	// quiesce point where no bin is in flight, every flush has been
+	// delivered and every extractor has just rotated. regNames counts the
+	// active instances of each query name — initial queries, applied and
+	// queued adds, Arrivals — so AddQuery can refuse duplicates and
+	// RemoveQuery unknown names without touching run-goroutine state.
+	regMu    sync.Mutex
+	regOps   []registryOp
+	regNames map[string]int
+}
+
+// registryOp is one queued registry mutation: an add (add != nil) or a
+// removal by name.
+type registryOp struct {
+	add    queries.Query
+	remove string
 }
 
 // New builds a system around the given fresh query instances. All
@@ -336,8 +358,131 @@ func New(cfg Config, qs []queries.Query) *System {
 	}
 	for _, q := range qs {
 		s.addQuery(q)
+		s.trackName(q.Name(), +1)
 	}
 	return s
+}
+
+// trackName adjusts the registry's active-instance count for a query
+// name. addQuery itself does not touch the count: registry adds are
+// counted when queued (so a duplicate AddQuery fails immediately), while
+// construction and Arrivals count here at wiring time.
+func (s *System) trackName(name string, delta int) {
+	s.regMu.Lock()
+	if s.regNames == nil {
+		s.regNames = make(map[string]int)
+	}
+	s.regNames[name] += delta
+	s.regMu.Unlock()
+}
+
+// AddQuery queues a fresh query instance to join the stream at the next
+// measurement-interval boundary (or at the start of the next run if the
+// system is idle). It is safe to call from any goroutine — the admin
+// plane of a serving deployment calls it from HTTP handlers — and
+// returns an error, never panics, because the input is operator data:
+// a duplicate active name or a mismatched measurement interval is
+// refused. The join point makes live registration deterministic: the
+// query sees exactly the bins a restart with it registered from that
+// interval would have shown it (see TestLiveAddMatchesArrivalRestart).
+func (s *System) AddQuery(q queries.Query) error {
+	if q == nil {
+		return errors.New("loadshed: AddQuery: nil query")
+	}
+	if q.Interval() != s.interval {
+		return fmt.Errorf("loadshed: query %s interval %v differs from system interval %v", q.Name(), q.Interval(), s.interval)
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.regNames == nil {
+		s.regNames = make(map[string]int)
+	}
+	if s.regNames[q.Name()] > 0 {
+		return fmt.Errorf("loadshed: query %q already registered", q.Name())
+	}
+	s.regNames[q.Name()]++
+	s.regOps = append(s.regOps, registryOp{add: q})
+	return nil
+}
+
+// RemoveQuery queues the removal of the active query with the given
+// name, applied at the next measurement-interval boundary — after its
+// final flush has been delivered. Mid-run the slot is tombstoned rather
+// than compacted, so sink indices stay aligned: the removed column
+// reports zero rates and nil results until the next run starts and the
+// slot is reclaimed. Safe to call from any goroutine.
+func (s *System) RemoveQuery(name string) error {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.regNames[name] <= 0 {
+		return fmt.Errorf("loadshed: no active query %q", name)
+	}
+	s.regNames[name]--
+	s.regOps = append(s.regOps, registryOp{remove: name})
+	return nil
+}
+
+// applyRegistry drains the queued registry ops, in queue order. It runs
+// only on the run goroutine at quiesce points — interval boundaries
+// (after startInterval, mirroring where Arrivals join) and run start —
+// so an added query's first bin opens a fresh interval and a removed
+// query's last interval has already flushed. sink receives OnQuery for
+// each add and, if it implements QueryRemovalSink, OnQueryRemove for
+// each tombstoned slot.
+func (s *System) applyRegistry(sink Sink) {
+	s.regMu.Lock()
+	ops := s.regOps
+	s.regOps = nil
+	s.regMu.Unlock()
+	for _, op := range ops {
+		if op.add != nil {
+			s.addQuery(op.add)
+			sink.OnQuery(len(s.qs)-1, op.add.Name())
+			continue
+		}
+		for i, rq := range s.qs {
+			if rq != nil && rq.q.Name() == op.remove {
+				s.qs[i] = nil
+				if rs, ok := sink.(QueryRemovalSink); ok {
+					rs.OnQueryRemove(i, op.remove)
+				}
+				break
+			}
+		}
+	}
+}
+
+// compactQueries reclaims tombstoned slots between runs. Mid-run a
+// removal must leave a nil slot so sink indices stay aligned; at run
+// start no sink has seen an index yet and every per-query seed was
+// fixed at addQuery time, so the survivors slide down keeping their RNG
+// streams, predictors and recycled result storage (prevIvr compacts in
+// lockstep — each surviving query keeps its own storage).
+func (s *System) compactQueries() {
+	n := 0
+	for i, rq := range s.qs {
+		if rq == nil {
+			continue
+		}
+		if i < len(s.prevIvr) {
+			s.prevIvr[n] = s.prevIvr[i]
+		} else if n < len(s.prevIvr) {
+			// This query never had recycled storage; don't hand it a
+			// removed query's.
+			s.prevIvr[n] = nil
+		}
+		s.qs[n] = rq
+		n++
+	}
+	if n == len(s.qs) {
+		return
+	}
+	clear(s.qs[n:])
+	s.qs = s.qs[:n]
+	if len(s.prevIvr) > n {
+		clear(s.prevIvr[n:])
+		s.prevIvr = s.prevIvr[:n]
+	}
 }
 
 // addQuery wires a query into the running system (used at construction
@@ -410,10 +555,14 @@ func (s *System) SetCapacity(c float64) {
 // last bin's record, so memory stays constant for any trace length —
 // accumulation, if wanted, is the sink's choice.
 type runner struct {
-	s               *System
-	src             trace.Source
-	sink            Sink
-	pipe            *pipeline // non-nil: the front stage owns src (pipeline.go)
+	s    *System
+	src  trace.Source
+	sink Sink
+	pipe *pipeline // non-nil: the front stage owns src (pipeline.go)
+	// done, when non-nil, cancels the run: step returns false at the
+	// next bin boundary once it is closed. nil (the Stream/Run path)
+	// never fires, so the select degenerates to the plain receive.
+	done            <-chan struct{}
 	binsPerInterval int
 	curInterval     int
 	bin             int
@@ -438,6 +587,11 @@ func (s *System) newRunner(src trace.Source, sink Sink) *runner {
 		s.bc.Stats.Rates, s.bc.Stats.QueryUsed, s.bc.Stats.QueryPred = nil, nil, nil
 	}
 	s.recycle = sinkIsTransient(sink)
+	// Quiesce point: apply registry ops queued while idle (silently —
+	// the announcement loop below covers every slot) and reclaim
+	// tombstones left by the previous run's removals.
+	s.applyRegistry(DiscardSink{})
+	s.compactQueries()
 	for i, rq := range s.qs {
 		rq.q.Reset()
 		sink.OnQuery(i, rq.q.Name())
@@ -467,7 +621,15 @@ func (s *System) newRunner(src trace.Source, sink Sink) *runner {
 func (r *runner) step() bool {
 	s := r.s
 	if r.pipe != nil {
-		slot := <-r.pipe.ready
+		var slot *binSlot
+		select {
+		case slot = <-r.pipe.ready:
+		case <-r.done:
+			// Cancelled mid-run: stop consuming the ring. finish()
+			// tears the front stage down via the pipeline's quit
+			// channel, so the slot in flight is simply abandoned.
+			return false
+		}
 		if !slot.ok {
 			r.pipe.free <- slot
 			return false
@@ -483,6 +645,11 @@ func (r *runner) step() bool {
 		// into the batch or sketch, so the front may refill it now.
 		r.pipe.free <- slot
 	} else {
+		select {
+		case <-r.done:
+			return false
+		default:
+		}
 		b, ok := r.src.NextBatch()
 		if !ok {
 			return false
@@ -512,11 +679,18 @@ func (r *runner) advance() {
 		r.sink.OnInterval(&r.lastIvr)
 		r.curInterval = iv
 		s.startInterval()
+		// Quiesce point: registry ops join/leave here, before the
+		// config's scripted Arrivals, so a live-added query's first bin
+		// is the first bin of a fresh interval — the precondition of
+		// the restart-equivalence oracle.
+		s.applyRegistry(r.sink)
 	}
 	for _, a := range s.cfg.Arrivals {
 		if a.AtBin == r.bin {
-			s.addQuery(a.Make())
-			r.sink.OnQuery(len(s.qs)-1, s.qs[len(s.qs)-1].q.Name())
+			q := a.Make()
+			s.addQuery(q)
+			s.trackName(q.Name(), +1)
+			r.sink.OnQuery(len(s.qs)-1, q.Name())
 		}
 	}
 }
@@ -541,10 +715,27 @@ func (r *runner) finish() {
 // runs indefinitely — an unbounded source included — in constant
 // memory. A nil sink discards all records.
 func (s *System) Stream(src trace.Source, sink Sink) {
+	s.StreamContext(context.Background(), src, sink)
+}
+
+// StreamContext is Stream with cancellation: when ctx is cancelled the
+// run stops at the next bin boundary — the bin in flight completes, the
+// open measurement interval flushes to the sink, and every pipeline and
+// worker goroutine is torn down before StreamContext returns (no leaks;
+// see TestStreamContextCancelReleasesGoroutines). It returns ctx.Err()
+// after a cancellation and nil after a natural end of trace.
+//
+// Cancellation is polled between bins, so a source whose NextBatch
+// blocks indefinitely (a live listener on a silent link) must also be
+// closed to unblock it; cmd/lsd's serve mode wires that up with
+// context.AfterFunc.
+func (s *System) StreamContext(ctx context.Context, src trace.Source, sink Sink) error {
 	r := s.newRunner(src, sink)
+	r.done = ctx.Done()
 	for r.step() {
 	}
 	r.finish()
+	return ctx.Err()
 }
 
 // Run replays src through the system and returns the full record. It is
@@ -555,6 +746,15 @@ func (s *System) Run(src trace.Source) *RunResult {
 	rs := newResultSink(s.cfg.Scheme)
 	s.Stream(src, rs)
 	return rs.res
+}
+
+// RunContext is Run with cancellation: the returned record covers every
+// bin processed before ctx fired (final partial interval included), and
+// err is ctx.Err() if the run was cut short.
+func (s *System) RunContext(ctx context.Context, src trace.Source) (*RunResult, error) {
+	rs := newResultSink(s.cfg.Scheme)
+	err := s.StreamContext(ctx, src, rs)
+	return rs.res, err
 }
 
 // CustomStates exposes the custom-shedding audit state (nil when custom
@@ -574,6 +774,9 @@ func (s *System) startInterval() {
 	// intervals and corrupts the new-item counts of every sampled query.
 	s.shedExt.StartInterval()
 	for _, rq := range s.qs {
+		if rq == nil { // tombstoned by RemoveQuery
+			continue
+		}
 		rq.ext.StartInterval()
 		rq.fsamp.StartInterval()
 	}
@@ -602,6 +805,12 @@ func (s *System) flush(idx int) IntervalResults {
 		out.Results = make([]queries.Result, nq)
 	}
 	for i, rq := range s.qs {
+		if rq == nil {
+			// Tombstoned slot: the recycle path would otherwise leave the
+			// removed query's last results visible forever.
+			out.Results[i] = nil
+			continue
+		}
 		var r queries.Result
 		var ops queries.Ops
 		if rec, ok := rq.q.(queries.ResultRecycler); ok && s.recycle {

@@ -1,0 +1,84 @@
+package loadshed
+
+// metrics.go renders a RollingSnapshot in the Prometheus text exposition
+// format, hand-written against the stdlib so the admin plane of a
+// serving deployment (cmd/lsd -serve) has no dependencies. The mapping
+// from the thesis' quantities to metric names:
+//
+//	lsd_window_drop_fraction        uncontrolled capture ("DAG") drops / offered
+//	lsd_window_unsampled_fraction   the online accuracy-error proxy (§2.2.1)
+//	lsd_window_mean_global_rate     min sampling rate across queries
+//	lsd_query_rate{query=...}       per-query applied rate (Ch. 5 strategies)
+//	lsd_window_mean_delay_bins      capture-buffer occupancy, in bins (§4.1)
+//	lsd_window_budget_utilization   (used+overhead+shed)/capacity
+//
+// Lifetime counters carry the _total suffix per Prometheus conventions;
+// windowed gauges say so in their name because their value is a mean
+// over the last lsd_window_bins bins, not an instantaneous reading.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus writes the snapshot as Prometheus text-format metrics.
+// Per-query series are labelled query="name"; a removed query keeps
+// reporting with lsd_query_active 0 until the stream restarts, so
+// dashboards see the removal instead of a vanishing series.
+func (s RollingSnapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("lsd_bins_total", "Time bins processed since start.", float64(s.Bins))
+	counter("lsd_intervals_total", "Measurement intervals flushed since start.", float64(s.Intervals))
+	counter("lsd_wire_packets_total", "Packets offered on the wire since start.", float64(s.WirePkts))
+	counter("lsd_drop_packets_total", "Uncontrolled capture-buffer drops since start.", float64(s.DropPkts))
+	counter("lsd_admit_packets_total", "Packets admitted into the system since start.", float64(s.AdmitPkts))
+	counter("lsd_export_cycles_total", "Cycles spent flushing interval results since start.", s.ExportCycles)
+
+	gauge("lsd_window_bins", "Bins covered by the windowed metrics below.", float64(s.WindowBins))
+	gauge("lsd_window_packets_per_bin", "Mean offered load over the window, packets per bin.", s.PktsPerBin)
+	gauge("lsd_window_drop_fraction", "Uncontrolled drops / offered packets over the window.", s.DropFrac)
+	gauge("lsd_window_unsampled_fraction", "Fraction of admitted packets not processed at the applied rate (accuracy-error proxy).", s.UnsampledFrac)
+	gauge("lsd_window_mean_global_rate", "Mean of the per-bin minimum sampling rate over the window.", s.MeanGlobalRate)
+	gauge("lsd_window_mean_delay_bins", "Mean capture-buffer occupancy over the window, in bins.", s.MeanDelay)
+	gauge("lsd_window_max_delay_bins", "Max capture-buffer occupancy over the window, in bins.", s.MaxDelay)
+	gauge("lsd_window_mean_used_cycles", "Mean measured query cycles per bin over the window.", s.MeanUsed)
+	gauge("lsd_window_mean_overhead_cycles", "Mean platform+prediction cycles per bin over the window.", s.MeanOverhead)
+	gauge("lsd_window_mean_shed_cycles", "Mean sampling+re-extraction cycles per bin over the window.", s.MeanShed)
+	gauge("lsd_window_budget_utilization", "(used+overhead+shed)/capacity averaged over finite-capacity bins of the window.", s.MeanUtil)
+
+	if len(s.Queries) > 0 {
+		fmt.Fprintf(&b, "# HELP lsd_query_rate Mean applied sampling rate per query over the window.\n# TYPE lsd_query_rate gauge\n")
+		for i, q := range s.Queries {
+			var rate float64
+			if i < len(s.MeanRates) {
+				rate = s.MeanRates[i]
+			}
+			fmt.Fprintf(&b, "lsd_query_rate{query=\"%s\"} %g\n", promEscape(q), rate)
+		}
+		fmt.Fprintf(&b, "# HELP lsd_query_active Whether the query is currently registered (0 after RemoveQuery).\n# TYPE lsd_query_active gauge\n")
+		for i, q := range s.Queries {
+			active := 1
+			if i < len(s.Active) && !s.Active[i] {
+				active = 0
+			}
+			fmt.Fprintf(&b, "lsd_query_active{query=\"%s\"} %d\n", promEscape(q), active)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

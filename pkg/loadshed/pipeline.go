@@ -79,6 +79,14 @@ type pipeline struct {
 	free  chan *binSlot
 	ready chan *binSlot
 
+	// quit/frontDone are per-run teardown channels: stop closes quit so
+	// a front goroutine whose back stage was cancelled (and therefore
+	// stopped freeing slots) unblocks from its free-receive, and waits on
+	// frontDone before releasing the pool. On a natural end of trace the
+	// front has already returned and the wait is immediate.
+	quit      chan struct{}
+	frontDone chan struct{}
+
 	frontWorkers int
 	cs           *features.ChunkSketcher
 	pool         *staticPool          // per-run; nil while idle or when frontWorkers == 1
@@ -104,10 +112,12 @@ func (s *System) ensurePipeline() *pipeline {
 }
 
 // begin arms the ring for one run and starts the front stage: both
-// slots on free, a fresh helper pool (the front goroutine is the pool's
+// slots on free (draining whatever a cancelled previous run left in the
+// channels), a fresh helper pool (the front goroutine is the pool's
 // missing worker), and the front goroutine pulling from src. The front
 // exits on its own when the source is exhausted, after handing the back
-// stage an ok=false slot; stop() then only has to tear down the pool.
+// stage an ok=false slot; a cancelled run instead tears it down through
+// the quit channel.
 func (p *pipeline) begin(src trace.Source, sketch bool) {
 	for len(p.free) > 0 {
 		<-p.free
@@ -117,6 +127,8 @@ func (p *pipeline) begin(src trace.Source, sketch bool) {
 	}
 	p.free <- &p.slots[0]
 	p.free <- &p.slots[1]
+	p.quit = make(chan struct{})
+	p.frontDone = make(chan struct{})
 	if p.frontWorkers > 1 {
 		p.pool = newStaticPool(p.frontWorkers - 1)
 		p.runFn = p.pool.run
@@ -124,10 +136,16 @@ func (p *pipeline) begin(src trace.Source, sketch bool) {
 	go p.front(src, sketch)
 }
 
-// stop tears down the per-run machinery. The caller guarantees the run
-// was driven to end of trace, so the front goroutine has already
-// returned and the pool is idle.
+// stop tears down the per-run machinery: it quits the front stage, waits
+// for it to return, then releases the pool. After a natural end of trace
+// the front has already exited and stop returns immediately; after a
+// cancellation it returns as soon as the front observes quit — at its
+// next free-receive, or after its in-flight src.NextBatch/sketch
+// completes (bounded for every Source; live listeners are additionally
+// closed by the caller to unblock a silent link).
 func (p *pipeline) stop() {
+	close(p.quit)
+	<-p.frontDone
 	if p.pool != nil {
 		p.pool.close()
 		p.pool, p.runFn = nil, nil
@@ -141,8 +159,18 @@ func (p *pipeline) stop() {
 // sequential engine's. Sources hand off stable batches (see
 // trace.Source), so the slot holds the batch without copying.
 func (p *pipeline) front(src trace.Source, sketch bool) {
+	defer close(p.frontDone)
 	for {
-		slot := <-p.free
+		// Only the free-receive can block indefinitely (a cancelled back
+		// stage stops freeing slots), so it is the quit point. The
+		// ready-sends below never block: the channel's buffer equals the
+		// slot count, so there is always room for every slot in existence.
+		var slot *binSlot
+		select {
+		case slot = <-p.free:
+		case <-p.quit:
+			return
+		}
 		b, ok := src.NextBatch()
 		if !ok {
 			slot.ok = false

@@ -40,6 +40,18 @@ type Sink interface {
 	OnInterval(iv *IntervalResults)
 }
 
+// QueryRemovalSink is an optional Sink capability: OnQueryRemove fires
+// when RemoveQuery tombstones a query at a measurement-interval
+// boundary, after the query's final OnInterval. The slot index stays
+// allocated — per-bin slices keep their width, with the removed column
+// reading zero rates and nil results for the rest of the run — so a
+// sink that tracks per-query state should mark the index inactive, not
+// shift its bookkeeping. Sinks that don't implement the interface just
+// see the column go quiet.
+type QueryRemovalSink interface {
+	OnQueryRemove(index int, name string)
+}
+
 // TransientSink is an optional Sink capability: a transient sink
 // promises that when its callbacks return it retains nothing reachable
 // from the records — no slice, map or pointer, only copied values. When
@@ -126,6 +138,16 @@ func (t teeSink) OnInterval(iv *IntervalResults) {
 	}
 }
 
+// OnQueryRemove implements QueryRemovalSink, forwarding to the members
+// that care.
+func (t teeSink) OnQueryRemove(i int, name string) {
+	for _, s := range t {
+		if rs, ok := s.(QueryRemovalSink); ok {
+			rs.OnQueryRemove(i, name)
+		}
+	}
+}
+
 // SinkTransient implements TransientSink: a Tee is transient only when
 // every member is.
 func (t teeSink) SinkTransient() bool {
@@ -169,6 +191,9 @@ type RollingStats struct {
 	window int
 
 	queries []string
+	// active[i] is false once query i was removed (OnQueryRemove); its
+	// name and ring columns stay so indices never shift mid-run.
+	active []bool
 
 	ring   []rollingBin
 	head   int // next ring slot to overwrite
@@ -192,6 +217,15 @@ func NewRollingStats(window int) *RollingStats {
 // OnQuery implements Sink.
 func (r *RollingStats) OnQuery(_ int, name string) {
 	r.queries = append(r.queries, name)
+	r.active = append(r.active, true)
+}
+
+// OnQueryRemove implements QueryRemovalSink: the slot is marked
+// inactive but keeps its index, matching the engine's tombstoning.
+func (r *RollingStats) OnQueryRemove(i int, _ string) {
+	if i >= 0 && i < len(r.active) {
+		r.active[i] = false
+	}
 }
 
 // OnBin implements Sink. It copies the scalars and per-query rates it
@@ -230,9 +264,13 @@ func (r *RollingStats) SinkTransient() bool { return true }
 // totals plus means over the last WindowBins bins.
 type RollingSnapshot struct {
 	// Lifetime counters.
-	Bins                          int
-	Intervals                     int
-	Queries                       []string
+	Bins      int
+	Intervals int
+	Queries   []string
+	// Active is index-aligned with Queries: false marks a query removed
+	// by RemoveQuery (its MeanRates entry decays to 0 as its bins leave
+	// the window).
+	Active                        []bool
 	WirePkts, DropPkts, AdmitPkts int64
 	ExportCycles                  float64
 
@@ -267,6 +305,7 @@ func (r *RollingStats) Snapshot() RollingSnapshot {
 		Bins:         r.bins,
 		Intervals:    r.intervals,
 		Queries:      append([]string(nil), r.queries...),
+		Active:       append([]bool(nil), r.active...),
 		WirePkts:     r.wirePkts,
 		DropPkts:     r.dropPkts,
 		AdmitPkts:    r.admitPkts,

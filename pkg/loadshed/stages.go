@@ -76,10 +76,10 @@ type BinContext struct {
 	// the front stage's validated speculative sketch under the bin
 	// pipeline, the global extractor's internal sketch otherwise.
 	// Full-rate queries merge it instead of re-hashing in executeQuery.
-	sketch *features.Sketch
-	rates      []float64       // decideShedding: per-query sampling rates
-	shedCycles float64         // execute: sampling + re-extraction cycles
-	exec       []execResult    // execute: per-query slots, merged in index order
+	sketch     *features.Sketch
+	rates      []float64    // decideShedding: per-query sampling rates
+	shedCycles float64      // execute: sampling + re-extraction cycles
+	exec       []execResult // execute: per-query slots, merged in index order
 }
 
 // execResult is one query's contribution to the bin, written by exactly
@@ -226,6 +226,9 @@ func (s *System) extractPredict(bc *BinContext) {
 	// extractPredict, on this goroutine, after the pool has drained.
 	bc.fv = s.globalExt.ExtractFromSketch(sk, float64(bc.Admitted.Packets()), float64(bc.Admitted.Bytes()))
 	for i, rq := range s.qs {
+		if rq == nil { // tombstoned: predicts 0, contributes nothing
+			continue
+		}
 		var fit, fcbf int64
 		if rq.mlr != nil {
 			fcbf, fit = rq.mlr.FCBFOps, rq.mlr.FitOps
@@ -307,6 +310,13 @@ func (s *System) decidePredictive(avail float64, preds []float64, rates []float6
 	}
 	demands := s.demandBuf[:len(s.qs)]
 	for i, rq := range s.qs {
+		if rq == nil {
+			// Tombstoned slot: a zero Demand is neutral under every
+			// strategy (no cycles, no minimum rate), so the allocation
+			// the live queries see is unchanged by the slot's presence.
+			demands[i] = sched.Demand{}
+			continue
+		}
 		demand := preds[i]
 		if rq.shed != nil {
 			// The custom manager's correction factor converts the
@@ -339,6 +349,9 @@ func (s *System) execute(bc *BinContext) {
 	if s.cfg.Scheme == Predictive {
 		repRate, nSampled := 0.0, 0
 		for i, r := range bc.rates {
+			if s.qs[i] == nil {
+				continue
+			}
 			if r < 1 && !(s.qs[i].shed != nil && s.qs[i].shed.Mode() == custom.ModeCustom) {
 				repRate += r
 				nSampled++
@@ -382,8 +395,14 @@ func (s *System) execute(bc *BinContext) {
 
 	// Deterministic merge: index order fixes the floating-point
 	// summation order regardless of which worker ran which query.
+	// Tombstoned slots are skipped: their exec slots are zero, but their
+	// never-written Rates entry (0) would otherwise pin GlobalRate to 0
+	// for the rest of the run.
 	usedSum, allocSum, minRate := 0.0, 0.0, 1.0
 	for i := range s.qs {
+		if s.qs[i] == nil {
+			continue
+		}
 		usedSum += bc.exec[i].used
 		allocSum += bc.exec[i].alloc
 		if r := bc.Stats.Rates[i]; r < minRate {
@@ -405,6 +424,9 @@ func (s *System) execute(bc *BinContext) {
 // per-index slots of bc.
 func (s *System) executeQuery(bc *BinContext, i int) {
 	rq := s.qs[i]
+	if rq == nil { // tombstoned slot: zero rate, zero cycles, no result
+		return
+	}
 	rate := bc.rates[i]
 	qb := &rq.qbatch
 	*qb = bc.Admitted
