@@ -1,0 +1,279 @@
+// coordmode.go — the distributed deployment of lsd: -coordinator runs
+// the budget coordinator as its own process, serving the TCP grant
+// protocol to worker monitors; -worker runs one monitor as a cluster
+// member that reports demand to a remote coordinator and applies the
+// budget it is granted, degrading to local-only shedding whenever the
+// coordinator is unreachable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/pkg/loadshed"
+)
+
+// coordOpts carries the flag values the coordinator mode consumes.
+type coordOpts struct {
+	listen    string  // TCP address workers connect to
+	admin     string  // HTTP admin plane address ("" = none)
+	policy    string  // shard policy name (must coordinate; "static" rejected)
+	capacity  float64 // total machine budget, cycles/bin
+	heartbeat time.Duration
+	lease     time.Duration
+}
+
+// runCoordinator serves the budget coordinator until a signal arrives.
+func runCoordinator(ctx context.Context, o coordOpts) {
+	policy, err := loadshed.ShardPolicyByName(o.policy)
+	die(err)
+	if policy == nil {
+		die(fmt.Errorf("-coordinator needs a coordinating -shard-policy; %q disables coordination (every worker would keep its static budget)", o.policy))
+	}
+	if o.capacity <= 0 {
+		die(fmt.Errorf("-coordinator needs -capacity: the total machine budget in cycles/bin cannot be probed from traffic the coordinator never sees"))
+	}
+
+	coord := loadshed.NewCoordinator(policy, o.capacity)
+	ln, err := net.Listen("tcp", o.listen)
+	die(err)
+	srv := loadshed.ServeCoordinator(ln, coord, loadshed.CoordServerConfig{
+		Heartbeat: o.heartbeat,
+		Lease:     o.lease,
+	})
+	fmt.Printf("coordinator on %s: policy %s, total capacity %.3g cycles/bin, heartbeat %v\n",
+		srv.Addr(), o.policy, o.capacity, o.heartbeat)
+
+	var admin *http.Server
+	if o.admin != "" {
+		aln, err := net.Listen("tcp", o.admin)
+		die(err)
+		admin = &http.Server{Handler: coordinatorMux(coord, o)}
+		go admin.Serve(aln)
+		fmt.Printf("admin plane on http://%s (healthz, metrics, cluster)\n", aln.Addr())
+	}
+
+	<-ctx.Done()
+	srv.Close()
+	if admin != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		admin.Shutdown(shCtx)
+	}
+
+	fmt.Println("signal received: coordinator stopped")
+	for _, n := range coord.Status() {
+		state := "live"
+		switch {
+		case n.Done:
+			state = "done"
+		case n.Partitioned:
+			state = "partitioned"
+		}
+		fmt.Printf("  node %-12s bin %-7d demand %.3g grant %.3g (%s)\n",
+			n.Name, n.Bin, n.Demand, n.Grant, state)
+	}
+}
+
+// coordinatorMux is the coordinator's admin plane: health, per-node
+// budget/demand/partition gauges, and the /cluster membership listing.
+func coordinatorMux(coord *loadshed.Coordinator, o coordOpts) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		nodes := coord.Status()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintln(w, "# HELP lsd_up Whether the coordinator is serving.")
+		fmt.Fprintln(w, "# TYPE lsd_up gauge")
+		fmt.Fprintln(w, "lsd_up 1")
+		fmt.Fprintln(w, "# HELP lsd_cluster_total_capacity Total machine budget distributed per bin, cycles.")
+		fmt.Fprintln(w, "# TYPE lsd_cluster_total_capacity gauge")
+		fmt.Fprintf(w, "lsd_cluster_total_capacity %g\n", coord.Total())
+		fmt.Fprintln(w, "# HELP lsd_cluster_nodes Nodes that ever joined the cluster.")
+		fmt.Fprintln(w, "# TYPE lsd_cluster_nodes gauge")
+		fmt.Fprintf(w, "lsd_cluster_nodes %d\n", len(nodes))
+		fmt.Fprintln(w, "# HELP lsd_node_budget Cycle budget most recently granted to the node.")
+		fmt.Fprintln(w, "# TYPE lsd_node_budget gauge")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "lsd_node_budget{node=%q} %g\n", n.Name, n.Grant)
+		}
+		fmt.Fprintln(w, "# HELP lsd_node_demand EWMA full-rate demand the node last reported, cycles/bin.")
+		fmt.Fprintln(w, "# TYPE lsd_node_demand gauge")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "lsd_node_demand{node=%q} %g\n", n.Name, n.Demand)
+		}
+		fmt.Fprintln(w, "# HELP lsd_node_partitioned Whether the node's lease expired without a report.")
+		fmt.Fprintln(w, "# TYPE lsd_node_partitioned gauge")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "lsd_node_partitioned{node=%q} %d\n", n.Name, b2i(n.Partitioned))
+		}
+		fmt.Fprintln(w, "# HELP lsd_node_done Whether the node finished its trace.")
+		fmt.Fprintln(w, "# TYPE lsd_node_done gauge")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "lsd_node_done{node=%q} %d\n", n.Name, b2i(n.Done))
+		}
+	})
+
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Policy        string                     `json:"policy"`
+			TotalCapacity float64                    `json:"total_capacity"`
+			Heartbeat     string                     `json:"heartbeat"`
+			Nodes         []loadshed.CoordNodeStatus `json:"nodes"`
+		}{
+			Policy:        o.policy,
+			TotalCapacity: coord.Total(),
+			Heartbeat:     o.heartbeat.String(),
+			Nodes:         coord.Status(),
+		})
+	})
+
+	return mux
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// workerOpts carries the flag values the worker mode consumes, on top
+// of the serve options it shares (ingest, capacity sizing, admin).
+type workerOpts struct {
+	coordAddr string
+	name      string
+	minShare  float64
+	lease     time.Duration
+	serve     serveOpts
+}
+
+// runWorker runs one monitor as a cluster member: ingest feeds a local
+// System wrapped in a loadshed.Node whose transport is a TCP client of
+// the remote coordinator. Coordination is advisory — an unreachable
+// coordinator degrades the worker to local-only shedding on its last
+// granted (or initial) capacity, and a reconnect rejoins the cluster.
+func runWorker(ctx context.Context, mkQs func() []loadshed.Query, o workerOpts) {
+	name := o.name
+	if name == "" {
+		name = fmt.Sprintf("worker%d", os.Getpid())
+	}
+
+	src, closeSrc, desc, err := openIngest(o.serve.ingest, o.serve)
+	die(err)
+	fmt.Printf("ingest: %s\n", desc)
+
+	capacity := o.serve.capacity
+	if capacity <= 0 {
+		// The initial local budget, which also carries the worker through
+		// coordinator outages; the first grant replaces it.
+		fmt.Println("measuring full-rate demand (generated probe) ...")
+		cfg, err := loadshed.PresetConfig(o.serve.preset, o.serve.seed, o.serve.dur, o.serve.scale)
+		die(err)
+		ovh, demand := loadshed.MeasureLoad(loadshed.NewGenerator(cfg), mkQs(), o.serve.seed+1)
+		capacity = ovh + demand/o.serve.overload
+		fmt.Printf("demand %.3g cycles/bin (+%.3g overhead), initial capacity %.3g (overload %.2fx)\n",
+			demand, ovh, capacity, o.serve.overload)
+	}
+
+	cfg := loadshed.Config{
+		Capacity:       capacity,
+		Seed:           o.serve.seed + 2,
+		CustomShedding: o.serve.customOn,
+		Workers:        o.serve.workers,
+	}
+	cfg.Scheme, err = loadshed.ParseScheme(o.serve.scheme)
+	die(err)
+	if cfg.Scheme == loadshed.Predictive {
+		cfg.Strategy, err = loadshed.StrategyByName(o.serve.strategy)
+		die(err)
+	}
+
+	client, err := loadshed.DialCoordinator(o.coordAddr, name, loadshed.CoordClientConfig{
+		MinShare: o.minShare,
+		Lease:    o.lease,
+	})
+	if client == nil {
+		die(err)
+	}
+	defer client.Close()
+	if err != nil {
+		fmt.Printf("coordinator %s unreachable (%v); shedding locally until it appears\n", o.coordAddr, err)
+	} else {
+		fmt.Printf("joined coordinator %s as %q\n", o.coordAddr, name)
+	}
+
+	sys := loadshed.New(cfg, mkQs())
+	node := loadshed.NewNode(sys, client, loadshed.NodeConfig{Name: name, MinShare: o.minShare})
+	windowBins := int(o.serve.window / src.TimeBin())
+	sink := &serveSink{roll: loadshed.NewRollingStats(windowBins)}
+	live, _ := src.(*loadshed.LiveSource)
+
+	var admin *http.Server
+	if o.serve.admin != "" {
+		ln, err := net.Listen("tcp", o.serve.admin)
+		die(err)
+		admin = &http.Server{Handler: adminMux(sys, sink, live, o.serve.seed, func(w io.Writer) {
+			fmt.Fprintln(w, "# HELP lsd_coord_connected Whether the coordinator connection is up.")
+			fmt.Fprintln(w, "# TYPE lsd_coord_connected gauge")
+			fmt.Fprintf(w, "lsd_coord_connected %d\n", b2i(client.Connected()))
+			fmt.Fprintln(w, "# HELP lsd_coord_degraded Whether the worker is shedding on local capacity only (no lease-fresh grant).")
+			fmt.Fprintln(w, "# TYPE lsd_coord_degraded gauge")
+			fmt.Fprintf(w, "lsd_coord_degraded %d\n", b2i(client.Degraded()))
+			fmt.Fprintln(w, "# HELP lsd_coord_reconnects_total Times the coordinator link was re-established.")
+			fmt.Fprintln(w, "# TYPE lsd_coord_reconnects_total counter")
+			fmt.Fprintf(w, "lsd_coord_reconnects_total %d\n", client.Reconnects())
+			var grantCap float64
+			if g, ok := client.Grant(); ok {
+				grantCap = g.Capacity
+			}
+			fmt.Fprintln(w, "# HELP lsd_coord_grant_capacity Cycle budget of the current lease-fresh grant (0 while degraded).")
+			fmt.Fprintln(w, "# TYPE lsd_coord_grant_capacity gauge")
+			fmt.Fprintf(w, "lsd_coord_grant_capacity %g\n", grantCap)
+			fmt.Fprintln(w, "# HELP lsd_node_capacity Cycle budget per bin the engine currently runs under.")
+			fmt.Fprintln(w, "# TYPE lsd_node_capacity gauge")
+			fmt.Fprintf(w, "lsd_node_capacity %g\n", sys.Governor().Capacity())
+		})}
+		go admin.Serve(ln)
+		fmt.Printf("admin plane on http://%s (healthz, readyz, metrics, queries)\n", ln.Addr())
+	}
+
+	unblock := context.AfterFunc(ctx, closeSrc)
+	defer unblock()
+
+	fmt.Printf("serving as cluster worker (%s scheme) ...\n", o.serve.scheme)
+	streamErr := node.StreamContext(ctx, src, sink)
+	closeSrc()
+	client.Close()
+	if admin != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		admin.Shutdown(shCtx)
+	}
+
+	if streamErr != nil {
+		fmt.Println("signal received: stream stopped at a bin boundary")
+	}
+	if err := loadshed.SourceErr(src); err != nil {
+		die(fmt.Errorf("ingest failed: %w", err))
+	}
+
+	snap, _ := sink.snapshot()
+	dropPct := 0.0
+	if snap.WirePkts > 0 {
+		dropPct = 100 * float64(snap.DropPkts) / float64(snap.WirePkts)
+	}
+	fmt.Printf("served %d bins, %d intervals: %d of %d packets dropped uncontrolled (%.3f%%)\n",
+		snap.Bins, snap.Intervals, snap.DropPkts, snap.WirePkts, dropPct)
+}

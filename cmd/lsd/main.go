@@ -32,6 +32,16 @@
 //	lsd -serve 127.0.0.1:9091 -ingest udp://127.0.0.1:9000
 //	lsd -feed udp://127.0.0.1:9000 -preset cesca2 -dur 60s
 //
+// With -coordinator ADDR the process is the budget coordinator of a
+// distributed cluster: workers connect to ADDR over TCP, report their
+// demand, and receive budget grants computed by -shard-policy from the
+// -capacity total. With -worker ADDR the process is one such worker — a
+// serving monitor whose budget is granted remotely, and which degrades
+// to local-only shedding whenever the coordinator is unreachable:
+//
+//	lsd -coordinator 127.0.0.1:9800 -shard-policy mmfs_cpu -capacity 2e6 -serve 127.0.0.1:9091
+//	lsd -worker 127.0.0.1:9800 -node mon-a -ingest udp://127.0.0.1:9000 -serve 127.0.0.1:9092
+//
 // All modes shut down cleanly on SIGINT/SIGTERM: the engine stops at
 // the next bin boundary, flushes the open measurement interval, and the
 // final report still prints.
@@ -71,10 +81,29 @@ func main() {
 		serve     = flag.String("serve", "", "run as a service: HTTP admin plane address (e.g. 127.0.0.1:9091)")
 		ingest    = flag.String("ingest", "gen", "with -serve: packet source — gen | udp://host:port | unix:///path | tail:file")
 		feed      = flag.String("feed", "", "replay generated traffic into a serving lsd at udp://host:port or unix:///path")
-		capFlag   = flag.Float64("capacity", 0, "with -serve: cycle budget per bin (0 = size from a generated probe via -overload)")
+		capFlag   = flag.Float64("capacity", 0, "with -serve: cycle budget per bin (0 = size from a generated probe via -overload); with -coordinator: total machine budget (required)")
 		window    = flag.Duration("window", time.Minute, "with -serve: rolling-metrics window")
+		coordAddr = flag.String("coordinator", "", "run the cluster budget coordinator on this TCP address")
+		workerOf  = flag.String("worker", "", "run as a cluster worker of the coordinator at this address")
+		nodeName  = flag.String("node", "", "with -worker: cluster node name (default workerPID)")
+		minShare  = flag.Float64("min-share", 0, "with -worker: guaranteed fraction of reported demand")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "with -coordinator: budget reallocation period")
+		lease     = flag.Duration("lease", 0, "grant/report freshness lease (0 = 3x heartbeat)")
 	)
 	flag.Parse()
+
+	// -shard-policy configures the coordinator (in-process with -shards,
+	// standalone with -coordinator); anywhere else it would be silently
+	// ignored, so reject it at parse time rather than mislead.
+	shardPolSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shard-policy" {
+			shardPolSet = true
+		}
+	})
+	if shardPolSet && *shards <= 1 && *coordAddr == "" {
+		die(fmt.Errorf("-shard-policy needs -shards N>1 or -coordinator: a single monitor has no budget to split (workers get their policy from the coordinator)"))
+	}
 
 	// Every mode shuts down on SIGINT/SIGTERM by cancelling this context:
 	// the engine finishes its current bin, flushes the open interval, and
@@ -91,6 +120,41 @@ func main() {
 
 	if *feed != "" {
 		runFeed(ctx, *feed, *preset, *seed, *dur, *scale)
+		return
+	}
+	if *coordAddr != "" {
+		runCoordinator(ctx, coordOpts{
+			listen:    *coordAddr,
+			admin:     *serve,
+			policy:    *shardPol,
+			capacity:  *capFlag,
+			heartbeat: *heartbeat,
+			lease:     *lease,
+		})
+		return
+	}
+	if *workerOf != "" {
+		runWorker(ctx, mkQs, workerOpts{
+			coordAddr: *workerOf,
+			name:      *nodeName,
+			minShare:  *minShare,
+			lease:     *lease,
+			serve: serveOpts{
+				admin:    *serve,
+				ingest:   *ingest,
+				preset:   *preset,
+				seed:     *seed,
+				dur:      *dur,
+				scale:    *scale,
+				overload: *overload,
+				capacity: *capFlag,
+				window:   *window,
+				scheme:   *scheme,
+				strategy: *strategy,
+				customOn: *customOn,
+				workers:  *workers,
+			},
+		})
 		return
 	}
 	if *serve != "" {

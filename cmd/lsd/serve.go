@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -160,7 +161,7 @@ func runServe(ctx context.Context, mkQs func() []loadshed.Query, o serveOpts) {
 
 	ln, err := net.Listen("tcp", o.admin)
 	die(err)
-	srv := &http.Server{Handler: adminMux(sys, sink, live, o.seed)}
+	srv := &http.Server{Handler: adminMux(sys, sink, live, o.seed, nil)}
 	go srv.Serve(ln)
 	fmt.Printf("admin plane on http://%s (healthz, readyz, metrics, queries)\n", ln.Addr())
 
@@ -197,8 +198,9 @@ func runServe(ctx context.Context, mkQs func() []loadshed.Query, o serveOpts) {
 // adminMux builds the admin plane. Handlers run concurrently with the
 // stream: snapshots go through serveSink's mutex, registry calls go
 // through the engine's own AddQuery/RemoveQuery locking, and live-source
-// counters are atomics.
-func adminMux(sys *loadshed.System, sink *serveSink, live *loadshed.LiveSource, seed uint64) *http.ServeMux {
+// counters are atomics. A non-nil extraMetrics hook is appended to the
+// /metrics output — worker mode uses it for its coordinator-link gauges.
+func adminMux(sys *loadshed.System, sink *serveSink, live *loadshed.LiveSource, seed uint64, extraMetrics func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -227,6 +229,9 @@ func adminMux(sys *loadshed.System, sink *serveSink, live *loadshed.LiveSource, 
 			fmt.Fprintln(w, "# HELP lsd_ingest_dropped_bins_total Whole bins discarded because the engine lagged the listener.")
 			fmt.Fprintln(w, "# TYPE lsd_ingest_dropped_bins_total counter")
 			fmt.Fprintf(w, "lsd_ingest_dropped_bins_total %d\n", live.DroppedBins())
+		}
+		if extraMetrics != nil {
+			extraMetrics(w)
 		}
 	})
 

@@ -65,6 +65,49 @@ func (g *Governor) SetRTTCap(cycles float64) {
 	}
 }
 
+// State is the complete controller state of a Governor, exported so a
+// monitor can be checkpointed and restored mid-deployment (shard drain/
+// rebalance). Every field of Algorithm 1's controller is here: dropping
+// any of them (delay and rtt especially, which carry across measurement
+// intervals) would make a restored shard diverge from one that never
+// restarted.
+type State struct {
+	Capacity float64
+	ErrEWMA  float64
+	LsEWMA   float64
+	Delay    float64
+	RTT      float64
+	SSThr    float64
+	RTTStep  float64
+	RTTCap   float64
+}
+
+// Snapshot captures the controller state.
+func (g *Governor) Snapshot() State {
+	return State{
+		Capacity: g.capacity,
+		ErrEWMA:  g.errEWMA,
+		LsEWMA:   g.lsEWMA,
+		Delay:    g.delay,
+		RTT:      g.rtt,
+		SSThr:    g.ssthr,
+		RTTStep:  g.rttStep,
+		RTTCap:   g.rttCap,
+	}
+}
+
+// Restore overwrites the controller with a state captured by Snapshot.
+func (g *Governor) Restore(st State) {
+	g.capacity = st.Capacity
+	g.errEWMA = st.ErrEWMA
+	g.lsEWMA = st.LsEWMA
+	g.delay = st.Delay
+	g.rtt = st.RTT
+	g.ssthr = st.SSThr
+	g.rttStep = st.RTTStep
+	g.rttCap = st.RTTCap
+}
+
 // Err returns the current prediction-error EWMA êrror.
 func (g *Governor) Err() float64 { return g.errEWMA }
 

@@ -262,6 +262,21 @@ func (x *XorShift) Seed(seed int64) {
 	x.state = uint64(seed)
 }
 
+// State returns the raw generator state, so a checkpoint can capture
+// the stream position exactly (see SetState).
+func (x *XorShift) State() uint64 { return x.state }
+
+// SetState restores a state previously returned by State: the generator
+// then continues the identical draw sequence. A zero state is remapped
+// the same way NewXorShift remaps a zero seed, so a restored generator
+// can never stick at the xorshift fixed point.
+func (x *XorShift) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	x.state = s
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (x *XorShift) Float64() float64 {
 	return float64(x.Uint64()>>11) / float64(1<<53)

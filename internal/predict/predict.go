@@ -8,6 +8,8 @@
 package predict
 
 import (
+	"fmt"
+
 	"repro/internal/features"
 	"repro/internal/linalg"
 	"repro/internal/stats"
@@ -115,6 +117,63 @@ func (h *History) ColumnInto(dst []float64, j int) []float64 {
 // (means are order-invariant), so no copy is made.
 func (h *History) MeanCost() float64 {
 	return stats.Mean(h.costs[:h.Len()])
+}
+
+// HistoryState is the portable form of a History: the raw ring layout,
+// slot order included. The slot order matters for bit-identity — OLS
+// and Pearson iterate the ring in slot order, and floating-point sums
+// depend on summation order — so a checkpoint must round-trip the ring
+// as laid out, not merely the logical window.
+type HistoryState struct {
+	Feats [][]float64
+	Costs []float64
+	Next  int
+	Full  bool
+}
+
+// State deep-copies the ring for a checkpoint.
+func (h *History) State() HistoryState {
+	st := HistoryState{
+		Feats: make([][]float64, h.capacity),
+		Costs: make([]float64, h.capacity),
+		Next:  h.next,
+		Full:  h.full,
+	}
+	copy(st.Costs, h.costs)
+	for i, f := range h.feats {
+		if f != nil {
+			st.Feats[i] = append([]float64(nil), f...)
+		}
+	}
+	return st
+}
+
+// SetState restores a ring captured by State into a history of the same
+// capacity, preserving the slot layout exactly.
+func (h *History) SetState(st HistoryState) error {
+	if len(st.Feats) != h.capacity || len(st.Costs) != h.capacity {
+		return fmt.Errorf("predict: history state capacity %d does not match %d", len(st.Feats), h.capacity)
+	}
+	if st.Next < 0 || st.Next >= h.capacity {
+		return fmt.Errorf("predict: history state next=%d out of range for capacity %d", st.Next, h.capacity)
+	}
+	copy(h.costs, st.Costs)
+	for i, f := range st.Feats {
+		if f == nil {
+			h.feats[i] = nil
+			continue
+		}
+		slot := h.feats[i]
+		if cap(slot) < len(f) {
+			slot = make(features.Vector, len(f))
+		}
+		slot = slot[:len(f)]
+		copy(slot, f)
+		h.feats[i] = slot
+	}
+	h.next = st.Next
+	h.full = st.Full
+	return nil
 }
 
 // FCBF selects relevant, non-redundant predictors from cols (one slice
@@ -345,6 +404,9 @@ func NewSLR(history, feat int) *SLR {
 // Name implements Predictor.
 func (s *SLR) Name() string { return "slr" }
 
+// History exposes the predictor's observation window for checkpoints.
+func (s *SLR) History() *History { return s.hist }
+
 // Observe implements Predictor.
 func (s *SLR) Observe(f features.Vector, cost float64) { s.hist.Add(f, cost) }
 
@@ -392,6 +454,14 @@ func NewEWMA(alpha float64) *EWMA {
 
 // Name implements Predictor.
 func (e *EWMA) Name() string { return "ewma" }
+
+// State returns the average and seeded flag for a checkpoint.
+func (e *EWMA) State() (value float64, seeded bool) {
+	return e.avg.Value(), e.avg.Seeded()
+}
+
+// Restore sets the average and seeded flag captured by State.
+func (e *EWMA) Restore(value float64, seeded bool) { e.avg.Restore(value, seeded) }
 
 // Observe implements Predictor.
 func (e *EWMA) Observe(_ features.Vector, cost float64) { e.avg.Update(cost) }

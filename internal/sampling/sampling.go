@@ -53,6 +53,13 @@ func NewPacketSampler(seed uint64) *PacketSampler {
 	return &PacketSampler{rng: hash.NewXorShift(seed)}
 }
 
+// State returns the sampler's RNG state for a checkpoint.
+func (s *PacketSampler) State() uint64 { return s.rng.State() }
+
+// SetState restores a state returned by State: the sampler then makes
+// the identical selection sequence a never-checkpointed one would.
+func (s *PacketSampler) SetState(st uint64) { s.rng.SetState(st) }
+
 // Sample returns the packets of b selected with probability rate. A
 // rate >= 1 returns the input slice itself (no copy — shedding nothing
 // is free), so the result may alias the caller's batch; consistent with
@@ -114,6 +121,22 @@ func NewFlowSampler(seed uint64) *FlowSampler {
 // interval, reseeding the existing table in place.
 func (s *FlowSampler) StartInterval() {
 	s.interval++
+	if s.h == nil {
+		s.h = new(hash.H3)
+	}
+	s.h.Reseed(s.seed + s.interval*0x9e3779b97f4a7c15)
+}
+
+// Interval returns the interval counter a checkpoint must carry: the
+// hash function is a pure function of (seed, interval), so the counter
+// is the sampler's entire mutable state.
+func (s *FlowSampler) Interval() uint64 { return s.interval }
+
+// SetInterval restores a counter returned by Interval and re-derives
+// the interval's hash function from it, so a restored sampler keeps or
+// drops exactly the flows the original would have.
+func (s *FlowSampler) SetInterval(interval uint64) {
+	s.interval = interval
 	if s.h == nil {
 		s.h = new(hash.H3)
 	}

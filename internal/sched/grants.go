@@ -1,0 +1,36 @@
+package sched
+
+import "math"
+
+// GrantsWithFloor turns a cross-shard allocation into final per-shard
+// cycle grants: every allocation is floored at floorFrac of an equal
+// share of total, and whatever the floored allocations leave unused is
+// spread equally on top. Floors are reserved before the surplus is
+// spread, so the grants sum to total and under-loaded shards keep
+// headroom for the next surge; the only overshoot, bounded by the
+// floors themselves, happens when the floors alone exceed total.
+//
+// The budget coordinator calls this every heartbeat with the shards'
+// demand allocations; the floor keeps a shard the policy zeroed out
+// (disabled largest-first under extreme pressure) able to drain its
+// backlog accounting rather than divide by nothing.
+//
+// The result is written into dst (grown only when its capacity is
+// short) and returned. allocs must be non-empty.
+func GrantsWithFloor(dst []float64, allocs []Allocation, total, floorFrac float64) []float64 {
+	n := len(allocs)
+	floor := floorFrac * total / float64(n)
+	var used float64
+	for _, a := range allocs {
+		used += math.Max(a.Cycles, floor)
+	}
+	surplus := math.Max(0, total-used) / float64(n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i, a := range allocs {
+		dst[i] = math.Max(a.Cycles, floor) + surplus
+	}
+	return dst
+}

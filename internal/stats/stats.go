@@ -210,6 +210,10 @@ func (e *EWMA) Seeded() bool { return e.seeded }
 // Reset clears the average back to the unseeded state.
 func (e *EWMA) Reset() { e.value, e.seeded = 0, false }
 
+// Restore sets the average and seeded flag directly, so a checkpoint
+// (Value, Seeded) round-trips bit-exactly through a restart.
+func (e *EWMA) Restore(value float64, seeded bool) { e.value, e.seeded = value, seeded }
+
 // CDFPoint is one point of an empirical CDF: P(X <= X) = F.
 type CDFPoint struct {
 	X float64

@@ -16,12 +16,22 @@ package loadshed
 // eq_srates / mmfs_pkt become cross-shard policies. A nil policy is
 // the isolated baseline: a static equal split, exactly N independent
 // shedders.
+//
+// Since the coordinator split (coord.go, transport.go), Cluster is a
+// thin composition: a Coordinator plus one Node per shard, wired over
+// the synchronous loopback transport. The lockstep loop is unchanged —
+// step all shards at the barrier, then run one coordination round
+// (reports in shard-index order, allocate, grants back) — so results
+// are bit-identical to the pre-split Cluster, and the same Coordinator
+// served over TCP (ServeCoordinator) runs the identical protocol across
+// processes.
 
 import (
 	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 
 	"repro/internal/queries"
 	"repro/internal/sched"
@@ -91,6 +101,13 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	return c
 }
 
+// coordinated reports whether the config calls for an actual budget
+// coordinator; without a policy or a finite budget the initial equal
+// split stands and shards run isolated.
+func (c ClusterConfig) coordinated() bool {
+	return c.ShardPolicy != nil && !math.IsInf(c.TotalCapacity, 1)
+}
+
 // ShardRun is one shard's record in a ClusterResult.
 type ShardRun struct {
 	Name   string
@@ -112,46 +129,40 @@ type ClusterResult struct {
 }
 
 // TotalDrops sums the uncontrolled capture drops across all shards.
+// Shards without a record (a worker that never joined a distributed
+// run) count zero.
 func (r *ClusterResult) TotalDrops() int {
 	n := 0
 	for i := range r.Shards {
+		if r.Shards[i].Result == nil {
+			continue
+		}
 		n += r.Shards[i].Result.TotalDrops()
 	}
 	return n
 }
 
-// TotalWirePkts sums the packets offered across all shards.
+// TotalWirePkts sums the packets offered across all shards. Shards
+// without a record count zero.
 func (r *ClusterResult) TotalWirePkts() int {
 	n := 0
 	for i := range r.Shards {
+		if r.Shards[i].Result == nil {
+			continue
+		}
 		n += r.Shards[i].Result.TotalWirePkts()
 	}
 	return n
 }
 
-// clusterShard is the runtime state of one shard.
-type clusterShard struct {
-	name     string
-	minShare float64
-	sys      *System
-	src      trace.Source
-	run      *runner
-	caps     []float64
-	demand   float64 // EWMA of observed full-rate demand, cycles/bin
-	seeded   bool
-	done     bool
-}
-
 // Cluster runs N per-link Systems under one budget coordinator.
 // Construct with NewCluster, call Run.
 type Cluster struct {
-	cfg    ClusterConfig
-	shards []*clusterShard
-
-	// Per-bin coordination scratch (cluster goroutine only).
-	activeBuf []*clusterShard
-	demandBuf []sched.Demand
-	schedWs   sched.Workspace
+	cfg   ClusterConfig
+	nodes []*Node
+	// coord is the budget coordinator, non-nil iff cfg.coordinated();
+	// every node reaches it through a loopback transport.
+	coord *Coordinator
 }
 
 // NewCluster builds a cluster of fresh Systems, one per shard. Each
@@ -163,6 +174,9 @@ func NewCluster(cfg ClusterConfig, shards []Shard) *Cluster {
 		panic("cluster: no shards")
 	}
 	c := &Cluster{cfg: cfg}
+	if cfg.coordinated() {
+		c.coord = NewCoordinator(cfg.ShardPolicy, cfg.TotalCapacity)
+	}
 	for i, sh := range shards {
 		scfg := cfg.Base
 		scfg.Capacity = cfg.TotalCapacity / float64(len(shards))
@@ -177,24 +191,32 @@ func NewCluster(cfg ClusterConfig, shards []Shard) *Cluster {
 		if name == "" {
 			name = fmt.Sprintf("link%d", i)
 		}
-		c.shards = append(c.shards, &clusterShard{
-			name:     name,
-			minShare: sh.MinShare,
-			sys:      New(scfg, sh.Queries),
-			src:      sh.Source,
+		n := NewNode(New(scfg, sh.Queries), nil, NodeConfig{
+			Name:        name,
+			MinShare:    sh.MinShare,
+			DemandAlpha: cfg.DemandAlpha,
 		})
+		n.src = sh.Source
+		if c.coord != nil {
+			n.tr = NewLoopback(c.coord, name, sh.MinShare)
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	return c
 }
 
 // Shards exposes the per-shard Systems, mainly for tests.
 func (c *Cluster) Shards() []*System {
-	out := make([]*System, len(c.shards))
-	for i, sh := range c.shards {
-		out[i] = sh.sys
+	out := make([]*System, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.sys
 	}
 	return out
 }
+
+// Coordinator exposes the budget coordinator (nil for a static split),
+// for status planes and tests.
+func (c *Cluster) Coordinator() *Coordinator { return c.coord }
 
 // Stream steps every shard through its trace in lockstep, coordinating
 // the budget between bins and delivering each shard's records to the
@@ -220,20 +242,21 @@ func (c *Cluster) Stream(mk func(shard int, name string) Sink) {
 // every trace ends naturally.
 func (c *Cluster) StreamContext(ctx context.Context, mk func(shard int, name string) Sink) error {
 	done := ctx.Done()
-	for i, sh := range c.shards {
+	for i, n := range c.nodes {
 		var sink Sink
 		if mk != nil {
-			sink = mk(i, sh.name)
+			sink = mk(i, n.name)
 		}
-		sh.run = sh.sys.newRunner(sh.src, sink)
-		sh.run.done = done
-		sh.done = false
+		n.run = n.sys.newRunner(n.src, sink)
+		n.run.done = done
+		n.done = false
+		n.doneSent = false
 	}
 	for c.stepAll() {
 		c.coordinate()
 	}
-	for _, sh := range c.shards {
-		sh.run.finish()
+	for _, n := range c.nodes {
+		n.run.finish()
 	}
 	return ctx.Err()
 }
@@ -251,17 +274,17 @@ func (c *Cluster) Run() *ClusterResult {
 // bin processed before ctx fired, and err is ctx.Err() if the run was
 // cut short.
 func (c *Cluster) RunContext(ctx context.Context) (*ClusterResult, error) {
-	sinks := make([]*resultSink, len(c.shards))
+	sinks := make([]*resultSink, len(c.nodes))
 	err := c.StreamContext(ctx, func(i int, _ string) Sink {
-		sinks[i] = newResultSink(c.shards[i].sys.cfg.Scheme)
+		sinks[i] = newResultSink(c.nodes[i].sys.cfg.Scheme)
 		return sinks[i]
 	})
 	res := &ClusterResult{}
-	for i, sh := range c.shards {
+	for i, n := range c.nodes {
 		res.Shards = append(res.Shards, ShardRun{
-			Name:       sh.name,
+			Name:       n.name,
 			Result:     sinks[i].res,
-			Capacities: sh.caps,
+			Capacities: n.caps,
 		})
 	}
 	res.Aggregate = aggregateBins(res.Shards)
@@ -281,106 +304,47 @@ func (c *Cluster) RunContext(ctx context.Context) (*ClusterResult, error) {
 // run.finish tears its pools down
 // (TestClusterPipelinedShardsDeterminism).
 func (c *Cluster) stepAll() bool {
-	parallelIndexed(len(c.shards), c.cfg.Runners, func(i int) {
-		sh := c.shards[i]
-		if sh.done {
-			return
-		}
-		capacity := sh.sys.gov.Capacity()
-		if sh.run.step() {
-			sh.caps = append(sh.caps, capacity)
-		} else {
-			sh.done = true
-		}
+	parallelIndexed(len(c.nodes), c.cfg.Runners, func(i int) {
+		c.nodes[i].step()
 	})
-	for _, sh := range c.shards {
-		if !sh.done {
+	for _, n := range c.nodes {
+		if !n.done {
 			return true
 		}
 	}
 	return false
 }
 
-// coordinate redistributes TotalCapacity across the live shards from
-// their observed demands. It runs between bins on the cluster
-// goroutine, after the step barrier.
+// coordinate runs one loopback coordination round between bins, on the
+// cluster goroutine after the step barrier: every node reports its
+// demand (in shard-index order — the order every floating-point sum in
+// the allocators runs in), the coordinator allocates over the nodes
+// that reported, and every live node applies its grant. Nodes whose
+// traces ended send a single done report and drop out; their budget
+// redistributes to the survivors.
 func (c *Cluster) coordinate() {
-	if c.cfg.ShardPolicy == nil || math.IsInf(c.cfg.TotalCapacity, 1) {
+	if c.coord == nil {
 		return // static split: initial equal capacities stand
 	}
-	active := c.activeBuf[:0]
-	for _, sh := range c.shards {
-		if sh.done {
-			continue
-		}
-		sh.observeDemand(c.cfg.DemandAlpha)
-		active = append(active, sh)
+	for _, n := range c.nodes {
+		n.report()
 	}
-	c.activeBuf = active
-	if len(active) == 0 {
-		return
+	c.coord.AllocateRound()
+	for _, n := range c.nodes {
+		n.applyGrant()
 	}
-	total := c.cfg.TotalCapacity
-	if cap(c.demandBuf) < len(active) {
-		c.demandBuf = make([]sched.Demand, len(active))
-	}
-	demands := c.demandBuf[:len(active)]
-	for i, sh := range active {
-		demands[i] = sched.Demand{Name: sh.name, Cycles: sh.demand, MinRate: sh.minShare}
-	}
-	allocs := sched.AllocateInto(c.cfg.ShardPolicy, demands, total, &c.schedWs)
-	// Floor at 1% of an equal share: a shard the policy zeroed out
-	// (disabled largest-first under extreme pressure) must still drain
-	// its backlog accounting rather than divide by nothing. Floors are
-	// reserved before the surplus is spread, so the grants sum to
-	// TotalCapacity and under-loaded shards keep headroom for the next
-	// surge (the only overshoot, bounded by the floors themselves,
-	// happens when the floors alone exceed the machine).
-	floor := 0.01 * total / float64(len(active))
-	var used float64
-	for _, a := range allocs {
-		used += math.Max(a.Cycles, floor)
-	}
-	surplus := math.Max(0, total-used) / float64(len(active))
-	for i, sh := range active {
-		sh.sys.SetCapacity(math.Max(allocs[i].Cycles, floor) + surplus)
-	}
-}
-
-// observeDemand folds the shard's last bin into its demand EWMA. The
-// observation is the full-rate cost of the bin: unsheddable platform
-// and shedding overhead plus the predictor's full-rate estimate. Bins
-// without a prediction (the reactive and original schemes) fall back
-// to the measured query cycles rescaled by the applied global rate;
-// that rescaling is only meaningful there, where a single rate exists —
-// under a per-query strategy the minimum rate would grossly inflate
-// the estimate of queries that ran near full rate.
-func (sh *clusterShard) observeDemand(alpha float64) {
-	if sh.run.bin == 0 {
-		return
-	}
-	b := &sh.run.lastBin
-	queryCost := b.Predicted
-	if queryCost <= 0 {
-		rate := b.GlobalRate
-		if rate <= 0 {
-			rate = 1 // a fully-withheld bin carries no rescaling signal
-		}
-		queryCost = b.Used / math.Max(rate, 0.01)
-	}
-	obs := b.Overhead + b.Shed + queryCost
-	if !sh.seeded {
-		sh.demand = obs
-		sh.seeded = true
-		return
-	}
-	sh.demand = alpha*obs + (1-alpha)*sh.demand
 }
 
 // aggregateBins merges per-shard bin records into machine-level bins.
+// Shards need not have the same bin count — traces of different
+// lengths, a cancelled run, or a worker that never produced a record
+// (nil Result) all aggregate over whatever bins exist.
 func aggregateBins(shards []ShardRun) []BinStats {
 	maxBins := 0
 	for _, sh := range shards {
+		if sh.Result == nil {
+			continue
+		}
 		if n := len(sh.Result.Bins); n > maxBins {
 			maxBins = n
 		}
@@ -391,7 +355,7 @@ func aggregateBins(shards []ShardRun) []BinStats {
 		agg.GlobalRate = 1
 		first := true
 		for _, sh := range shards {
-			if i >= len(sh.Result.Bins) {
+			if sh.Result == nil || i >= len(sh.Result.Bins) {
 				continue
 			}
 			b := &sh.Result.Bins[i]
@@ -421,6 +385,11 @@ func aggregateBins(shards []ShardRun) []BinStats {
 	return out
 }
 
+// ShardPolicyNames lists the names ShardPolicyByName accepts.
+func ShardPolicyNames() []string {
+	return []string{"static", "equal", "eq_srates", "mmfs_cpu", "mmfs_pkt"}
+}
+
 // ShardPolicyByName maps the cross-shard coordinator policies exposed
 // on command lines — "static" (no coordination), or any StrategyByName
 // name ("mmfs_cpu", "mmfs_pkt", "eq_srates", "equal") — to a strategy.
@@ -430,7 +399,8 @@ func ShardPolicyByName(name string) (sched.Strategy, error) {
 	}
 	s, err := StrategyByName(name)
 	if err != nil {
-		return nil, fmt.Errorf("loadshed: unknown shard policy %q", name)
+		return nil, fmt.Errorf("loadshed: unknown shard policy %q (have %s)",
+			name, strings.Join(ShardPolicyNames(), ", "))
 	}
 	return s, nil
 }

@@ -1,0 +1,447 @@
+package loadshed
+
+// coord.go — the budget coordinator and the node wrapper it governs,
+// split out of the Cluster so coordination is a protocol rather than a
+// method call. A Coordinator owns the cross-shard allocation state
+// machine: it collects per-node DemandReports, runs the Chapter 5
+// allocators (internal/sched) over the live nodes, and computes per-
+// node BudgetGrants. A Node wraps one System as a cluster member: it
+// steps the engine, folds each bin's observed demand into an EWMA,
+// reports through its NodeTransport, and applies granted capacity at
+// bin boundaries.
+//
+// The split supports two deployments with the same arithmetic:
+//
+//   - loopback (transport.go): the in-process Cluster, where reports,
+//     allocation and grants happen synchronously at the lockstep
+//     barrier between bins. AllocateRound treats exactly the nodes
+//     that reported since the previous round as live, which reproduces
+//     the pre-split Cluster bit for bit (nodes are visited in join ==
+//     shard-index order, so every floating-point sum runs in the same
+//     order as before).
+//   - TCP (transport.go): coordinator and workers as separate
+//     processes. Liveness is lease-based — AllocateLease marks nodes
+//     silent for longer than the lease as partitioned and allocates
+//     over the rest; a partitioned node keeps shedding on its last
+//     local capacity (graceful degradation) and rejoins the allocation
+//     the moment a fresh report arrives.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// grantFloorFrac is the fraction of an equal share every live node is
+// guaranteed per round (see sched.GrantsWithFloor).
+const grantFloorFrac = 0.01
+
+// coordNode is the coordinator's record of one cluster member.
+type coordNode struct {
+	name       string
+	minShare   float64
+	demand     float64 // latest reported EWMA demand, cycles/bin
+	bin        int64   // latest reported bin index
+	done       bool    // node finished its trace
+	partitioned bool   // lease expired without a report (TCP mode)
+	reported   bool    // report received since the last AllocateRound
+	ever       bool    // at least one demand report received
+	lastReport time.Time
+	grant      float64
+	grantRound uint64
+}
+
+// CoordNodeStatus is one node's row in Coordinator.Status, the record
+// behind cmd/lsd's /cluster endpoint and per-node metrics.
+type CoordNodeStatus struct {
+	Name        string    `json:"name"`
+	MinShare    float64   `json:"min_share,omitempty"`
+	Demand      float64   `json:"demand"`
+	Grant       float64   `json:"grant"`
+	Bin         int64     `json:"bin"`
+	Done        bool      `json:"done"`
+	Partitioned bool      `json:"partitioned"`
+	LastReport  time.Time `json:"last_report"`
+}
+
+// Coordinator is the cross-shard budget allocator, detached from any
+// particular transport. All methods are safe for concurrent use: the
+// TCP server calls Report from per-connection readers while the
+// heartbeat loop allocates and the admin plane reads Status.
+type Coordinator struct {
+	mu     sync.Mutex
+	policy sched.Strategy
+	total  float64
+	nodes  []*coordNode // join order; allocation iterates this order
+	byName map[string]*coordNode
+	round  uint64
+
+	// Per-round scratch, reused so a per-bin loopback round allocates
+	// nothing in steady state.
+	liveBuf   []*coordNode
+	demandBuf []sched.Demand
+	grantBuf  []float64
+	ws        sched.Workspace
+}
+
+// NewCoordinator returns a coordinator distributing total cycles per
+// bin across its nodes with the given policy. The policy must be
+// non-nil and total finite — a static split needs no coordinator.
+func NewCoordinator(policy sched.Strategy, total float64) *Coordinator {
+	if policy == nil {
+		panic("loadshed: NewCoordinator with nil policy (static split needs no coordinator)")
+	}
+	if math.IsInf(total, 1) || total <= 0 {
+		panic("loadshed: NewCoordinator needs a finite positive total capacity")
+	}
+	return &Coordinator{policy: policy, total: total, byName: make(map[string]*coordNode)}
+}
+
+// Total returns the machine budget the coordinator distributes.
+func (c *Coordinator) Total() float64 { return c.total }
+
+// PolicyName returns the allocation policy's name.
+func (c *Coordinator) PolicyName() string { return c.policy.Name() }
+
+// join appends a fresh membership record without touching the name
+// index — the loopback transport addresses its node by handle, so two
+// in-process shards may even share a name.
+func (c *Coordinator) join(name string, minShare float64) *coordNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &coordNode{name: name, minShare: minShare}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// Join registers (or re-registers) a node by name, the keyed form the
+// TCP server uses: a worker that reconnects after a partition or a
+// restart lands on its existing record, clearing the partitioned and
+// done flags so the next report re-enters it into the allocation.
+func (c *Coordinator) Join(name string, minShare float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.byName[name]
+	if n == nil {
+		n = &coordNode{name: name}
+		c.nodes = append(c.nodes, n)
+		c.byName[name] = n
+	}
+	n.minShare = minShare
+	n.partitioned = false
+	n.done = false
+	n.reported = false
+}
+
+// Report folds a node's demand report in by name (TCP path). Reports
+// from unknown nodes are dropped — the hello/Join handshake precedes
+// them on every conforming transport.
+func (c *Coordinator) Report(r DemandReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.byName[r.Node]
+	if n == nil {
+		return
+	}
+	c.reportLocked(n, r)
+}
+
+// reportNode is Report addressed by handle (loopback path).
+func (c *Coordinator) reportNode(n *coordNode, r DemandReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reportLocked(n, r)
+}
+
+func (c *Coordinator) reportLocked(n *coordNode, r DemandReport) {
+	n.bin = r.Bin
+	n.done = r.Done
+	n.lastReport = time.Now()
+	if r.Done {
+		n.reported = false
+		return
+	}
+	n.demand = r.Demand
+	n.reported = true
+	n.ever = true
+	// Any report proves liveness: a partitioned node that reaches the
+	// coordinator again rejoins the next allocation.
+	n.partitioned = false
+}
+
+// AllocateRound runs one lockstep coordination round: the nodes that
+// reported since the previous round are live, everyone else (done,
+// never-joined-in) keeps its stale grant, which Grant() then refuses
+// to hand out. This is the loopback Cluster's per-bin path, and its
+// arithmetic — demand order, allocator, floor, surplus — is the
+// pre-split Cluster.coordinate verbatim.
+func (c *Coordinator) AllocateRound() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.allocateLocked(func(n *coordNode) bool { return n.reported && !n.done })
+}
+
+// AllocateLease runs one heartbeat coordination round under lease-based
+// liveness: nodes whose last report is older than the lease are marked
+// partitioned and excluded (their budget redistributes to the
+// survivors); nodes that have ever reported and are neither done nor
+// partitioned are allocated to, whether or not a report arrived this
+// exact heartbeat. The TCP server calls this on its heartbeat ticker.
+func (c *Coordinator) AllocateLease(lease time.Duration) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.ever && !n.done && now.Sub(n.lastReport) > lease {
+			n.partitioned = true
+		}
+	}
+	c.allocateLocked(func(n *coordNode) bool { return n.ever && !n.done && !n.partitioned })
+}
+
+// allocateLocked computes grants for the nodes live deems in, in join
+// order. Caller holds c.mu.
+func (c *Coordinator) allocateLocked(live func(*coordNode) bool) {
+	act := c.liveBuf[:0]
+	for _, n := range c.nodes {
+		if live(n) {
+			act = append(act, n)
+		}
+		n.reported = false
+	}
+	c.liveBuf = act
+	if len(act) == 0 {
+		return
+	}
+	if cap(c.demandBuf) < len(act) {
+		c.demandBuf = make([]sched.Demand, len(act))
+	}
+	demands := c.demandBuf[:len(act)]
+	for i, n := range act {
+		demands[i] = sched.Demand{Name: n.name, Cycles: n.demand, MinRate: n.minShare}
+	}
+	allocs := sched.AllocateInto(c.policy, demands, c.total, &c.ws)
+	c.grantBuf = sched.GrantsWithFloor(c.grantBuf, allocs, c.total, grantFloorFrac)
+	c.round++
+	for i, n := range act {
+		n.grant = c.grantBuf[i]
+		n.grantRound = c.round
+	}
+}
+
+// grantFor returns the node's grant if it was part of the most recent
+// allocation round; ok=false otherwise (done, partitioned, or no round
+// yet), in which case the node keeps its current local capacity.
+func (c *Coordinator) grantFor(n *coordNode) (BudgetGrant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n.grantRound == 0 || n.grantRound != c.round {
+		return BudgetGrant{}, false
+	}
+	return BudgetGrant{Node: n.name, Round: n.grantRound, Capacity: n.grant}, true
+}
+
+// grantsLocked appends every node's latest grant stamped with the
+// current round, for the TCP server's push loop. Caller holds c.mu.
+func (c *Coordinator) currentGrants(dst []BudgetGrant) []BudgetGrant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dst = dst[:0]
+	for _, n := range c.nodes {
+		if n.grantRound == 0 || n.grantRound != c.round {
+			continue
+		}
+		dst = append(dst, BudgetGrant{Node: n.name, Round: n.grantRound, Capacity: n.grant})
+	}
+	return dst
+}
+
+// Status snapshots every node's membership record, in join order.
+func (c *Coordinator) Status() []CoordNodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CoordNodeStatus, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = CoordNodeStatus{
+			Name:        n.name,
+			MinShare:    n.minShare,
+			Demand:      n.demand,
+			Grant:       n.grant,
+			Bin:         n.bin,
+			Done:        n.done,
+			Partitioned: n.partitioned,
+			LastReport:  n.lastReport,
+		}
+	}
+	return out
+}
+
+// Node wraps one System as a cluster member. Inside a Cluster the
+// cluster loop drives it (step at the barrier, report/apply at the
+// coordination point); as a standalone TCP worker its own
+// StreamContext drives the same methods against a remote coordinator.
+type Node struct {
+	name     string
+	minShare float64
+	alpha    float64
+	sys      *System
+	src      trace.Source
+	tr       NodeTransport
+
+	run      *runner
+	caps     []float64
+	demand   float64 // EWMA of observed full-rate demand, cycles/bin
+	seeded   bool
+	done     bool
+	doneSent bool
+}
+
+// NodeConfig parameterizes a standalone cluster member.
+type NodeConfig struct {
+	// Name identifies the node to the coordinator; it must be unique
+	// across the cluster (the coordinator keys membership on it).
+	Name string
+	// MinShare is the demand fraction the coordinator must cover before
+	// surplus moves elsewhere (see Shard.MinShare).
+	MinShare float64
+	// DemandAlpha is the EWMA weight of the reported demand estimate
+	// (default 0.5, see ClusterConfig.DemandAlpha).
+	DemandAlpha float64
+}
+
+// NewNode wraps sys as a cluster member reporting through tr. The
+// transport may be nil, in which case the node runs exactly like a
+// standalone System (no reports, no grants) — the shape of a worker
+// that lost its coordinator before ever reaching it.
+func NewNode(sys *System, tr NodeTransport, cfg NodeConfig) *Node {
+	if cfg.DemandAlpha == 0 {
+		cfg.DemandAlpha = 0.5
+	}
+	return &Node{name: cfg.Name, minShare: cfg.MinShare, alpha: cfg.DemandAlpha, sys: sys, tr: tr}
+}
+
+// System returns the wrapped engine.
+func (n *Node) System() *System { return n.sys }
+
+// Capacities returns the per-bin cycle budget the node ran under,
+// index-aligned with the bins it produced this run.
+func (n *Node) Capacities() []float64 { return n.caps }
+
+// Demand returns the node's current demand EWMA.
+func (n *Node) Demand() float64 { return n.demand }
+
+// step advances the node one bin, recording the capacity the bin ran
+// under (captured before the step, like the pre-split Cluster).
+func (n *Node) step() {
+	if n.done {
+		return
+	}
+	capacity := n.sys.gov.Capacity()
+	if n.run.step() {
+		n.caps = append(n.caps, capacity)
+	} else {
+		n.done = true
+	}
+}
+
+// observe folds the node's last bin into its demand EWMA. The
+// observation is the full-rate cost of the bin: unsheddable platform
+// and shedding overhead plus the predictor's full-rate estimate. Bins
+// without a prediction (the reactive and original schemes) fall back
+// to the measured query cycles rescaled by the applied global rate;
+// that rescaling is only meaningful there, where a single rate exists —
+// under a per-query strategy the minimum rate would grossly inflate
+// the estimate of queries that ran near full rate.
+func (n *Node) observe() {
+	if n.run.bin == 0 {
+		return
+	}
+	b := &n.run.lastBin
+	queryCost := b.Predicted
+	if queryCost <= 0 {
+		rate := b.GlobalRate
+		if rate <= 0 {
+			rate = 1 // a fully-withheld bin carries no rescaling signal
+		}
+		queryCost = b.Used / math.Max(rate, 0.01)
+	}
+	obs := b.Overhead + b.Shed + queryCost
+	if !n.seeded {
+		n.demand = obs
+		n.seeded = true
+		return
+	}
+	n.demand = n.alpha*obs + (1-n.alpha)*n.demand
+}
+
+// report sends the node's per-bin demand report (or, once, a final
+// done report after its trace ends, so the coordinator stops counting
+// it and its budget redistributes).
+func (n *Node) report() {
+	if n.tr == nil {
+		return
+	}
+	if n.done {
+		if !n.doneSent {
+			n.doneSent = true
+			n.tr.Report(DemandReport{Node: n.name, Bin: int64(n.bin()), Done: true})
+		}
+		return
+	}
+	n.observe()
+	n.tr.Report(DemandReport{Node: n.name, Bin: int64(n.run.bin), Demand: n.demand, MinShare: n.minShare})
+}
+
+// applyGrant installs the coordinator's latest capacity decision, if a
+// fresh one exists. No fresh grant — coordinator partitioned away,
+// static split, or the node already done — leaves the current local
+// capacity standing: the node degrades to an isolated local shedder
+// rather than stalling, and picks fresh grants back up when they
+// resume.
+func (n *Node) applyGrant() {
+	if n.done || n.tr == nil {
+		return
+	}
+	g, ok := n.tr.Grant()
+	if !ok {
+		return
+	}
+	n.sys.SetCapacity(g.Capacity)
+}
+
+// bin returns the node's current bin index (0 before any step).
+func (n *Node) bin() int {
+	if n.run == nil {
+		return 0
+	}
+	return n.run.bin
+}
+
+// StreamContext runs the node standalone — the TCP worker's main loop:
+// step a bin, report demand, apply the freshest grant, repeat until the
+// source ends or ctx fires. Records stream to sink exactly as in
+// System.StreamContext; coordination failures never stop the run (see
+// applyGrant).
+func (n *Node) StreamContext(ctx context.Context, src trace.Source, sink Sink) error {
+	n.src = src
+	n.run = n.sys.newRunner(src, sink)
+	n.run.done = ctx.Done()
+	n.done = false
+	n.doneSent = false
+	n.caps = n.caps[:0]
+	for {
+		n.step()
+		if n.done {
+			n.report() // the final done notice
+			break
+		}
+		n.report()
+		n.applyGrant()
+	}
+	n.run.finish()
+	return ctx.Err()
+}

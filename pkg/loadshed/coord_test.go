@@ -1,0 +1,582 @@
+package loadshed
+
+// coord_test.go pins the coordinator split (coord.go, transport.go):
+// the loopback cluster must be bit-identical to the pre-split inline
+// coordination, the TCP transport must run the same protocol with
+// lease-based partition and rejoin, and the aggregation layer must
+// tolerate shards that never produced a record.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+	"repro/internal/queries"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// minShareClusterShards is testClusterShards with a guaranteed share on
+// the attacked link, so the oracle comparison exercises the MinRate
+// path through the allocators too.
+func minShareClusterShards(dur time.Duration) []Shard {
+	shards := testClusterShards(dur)
+	shards[0].MinShare = 0.2
+	return shards
+}
+
+// oracleClusterRun re-implements the pre-split Cluster loop inline —
+// lockstep sequential stepping with the coordinator arithmetic
+// (demand EWMA, allocator, 1% floor, surplus spread) exactly as
+// Cluster.coordinate performed it before the Coordinator/Node/transport
+// decomposition. It is the ground truth TestLoopbackClusterMatchesInProcess
+// holds the refactored Cluster to.
+func oracleClusterRun(cfg ClusterConfig, shards []Shard) *ClusterResult {
+	cfg = cfg.withDefaults()
+	type oshard struct {
+		name     string
+		minShare float64
+		sys      *System
+		run      *runner
+		sink     *resultSink
+		caps     []float64
+		demand   float64
+		seeded   bool
+		done     bool
+	}
+	var os []*oshard
+	for i, sh := range shards {
+		scfg := cfg.Base
+		scfg.Capacity = cfg.TotalCapacity / float64(len(shards))
+		scfg.Seed = cfg.Base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		if cfg.Base.Workers == 0 {
+			scfg.Workers = 1
+		}
+		name := sh.Name
+		if name == "" {
+			name = fmt.Sprintf("link%d", i)
+		}
+		o := &oshard{name: name, minShare: sh.MinShare, sys: New(scfg, sh.Queries)}
+		o.sink = newResultSink(o.sys.cfg.Scheme)
+		o.run = o.sys.newRunner(sh.Source, o.sink)
+		os = append(os, o)
+	}
+	var ws sched.Workspace
+	var demands []sched.Demand
+	coordinated := cfg.ShardPolicy != nil && !math.IsInf(cfg.TotalCapacity, 1)
+	for {
+		for _, o := range os {
+			if o.done {
+				continue
+			}
+			capacity := o.sys.gov.Capacity()
+			if o.run.step() {
+				o.caps = append(o.caps, capacity)
+			} else {
+				o.done = true
+			}
+		}
+		live := false
+		for _, o := range os {
+			if !o.done {
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		if !coordinated {
+			continue
+		}
+		var active []*oshard
+		for _, o := range os {
+			if o.done {
+				continue
+			}
+			if o.run.bin != 0 {
+				b := &o.run.lastBin
+				queryCost := b.Predicted
+				if queryCost <= 0 {
+					rate := b.GlobalRate
+					if rate <= 0 {
+						rate = 1
+					}
+					queryCost = b.Used / math.Max(rate, 0.01)
+				}
+				obs := b.Overhead + b.Shed + queryCost
+				if !o.seeded {
+					o.demand, o.seeded = obs, true
+				} else {
+					o.demand = cfg.DemandAlpha*obs + (1-cfg.DemandAlpha)*o.demand
+				}
+			}
+			active = append(active, o)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		total := cfg.TotalCapacity
+		demands = demands[:0]
+		for _, o := range active {
+			demands = append(demands, sched.Demand{Name: o.name, Cycles: o.demand, MinRate: o.minShare})
+		}
+		allocs := sched.AllocateInto(cfg.ShardPolicy, demands, total, &ws)
+		floor := 0.01 * total / float64(len(active))
+		var used float64
+		for _, a := range allocs {
+			used += math.Max(a.Cycles, floor)
+		}
+		surplus := math.Max(0, total-used) / float64(len(active))
+		for i, o := range active {
+			o.sys.SetCapacity(math.Max(allocs[i].Cycles, floor) + surplus)
+		}
+	}
+	for _, o := range os {
+		o.run.finish()
+	}
+	res := &ClusterResult{}
+	for _, o := range os {
+		res.Shards = append(res.Shards, ShardRun{Name: o.name, Result: o.sink.res, Capacities: o.caps})
+	}
+	res.Aggregate = aggregateBins(res.Shards)
+	return res
+}
+
+// TestLoopbackClusterMatchesInProcess is the refactor's bit-identity
+// contract: the Cluster — now a Coordinator plus Nodes over the
+// loopback transport — must reproduce the pre-split inline coordination
+// exactly, for any runner count and for pipelined shards.
+func TestLoopbackClusterMatchesInProcess(t *testing.T) {
+	const dur = 3 * time.Second
+	total := clusterCapacity(t, dur)
+	for _, tc := range []struct {
+		name    string
+		policy  sched.Strategy
+		runners int
+		workers int
+	}{
+		{"mmfs_cpu/seq", MMFSCPU(), 1, 0},
+		{"mmfs_cpu/runners4", MMFSCPU(), 4, 0},
+		{"mmfs_cpu/pipelined", MMFSCPU(), 2, 3},
+		{"eq_srates/runners2", EqualRates(true), 2, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ClusterConfig{
+				Base:          Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 42, Workers: tc.workers},
+				TotalCapacity: total,
+				ShardPolicy:   tc.policy,
+				Runners:       tc.runners,
+			}
+			want := oracleClusterRun(cfg, minShareClusterShards(dur))
+			got := NewCluster(cfg, minShareClusterShards(dur)).Run()
+			if len(got.Shards) != len(want.Shards) {
+				t.Fatalf("shard count %d, oracle %d", len(got.Shards), len(want.Shards))
+			}
+			for i := range want.Shards {
+				if !reflect.DeepEqual(got.Shards[i], want.Shards[i]) {
+					t.Fatalf("shard %s diverged from the pre-split coordination", want.Shards[i].Name)
+				}
+			}
+			if !reflect.DeepEqual(got.Aggregate, want.Aggregate) {
+				t.Fatal("aggregate bins diverged from the pre-split coordination")
+			}
+		})
+	}
+}
+
+// TestAggregateBinsNilShardResult: a shard without a record — a worker
+// that never joined a distributed run — must aggregate as zero, not
+// panic (regression: aggregateBins and the ClusterResult totals used to
+// dereference Result unconditionally).
+func TestAggregateBinsNilShardResult(t *testing.T) {
+	live := &RunResult{Bins: []BinStats{
+		{WirePkts: 5, DropPkts: 2, Capacity: 10, GlobalRate: 0.5},
+		{WirePkts: 7, DropPkts: 1, Capacity: 10, GlobalRate: 1},
+	}}
+	shards := []ShardRun{
+		{Name: "w0", Result: live},
+		{Name: "w1", Result: nil},
+	}
+	agg := aggregateBins(shards)
+	if len(agg) != 2 {
+		t.Fatalf("aggregate has %d bins, want 2", len(agg))
+	}
+	if agg[0].WirePkts != 5 || agg[1].WirePkts != 7 {
+		t.Fatalf("aggregate wire packets %d/%d, want 5/7", agg[0].WirePkts, agg[1].WirePkts)
+	}
+	if agg[0].GlobalRate != 0.5 {
+		t.Fatalf("aggregate global rate %v, want 0.5", agg[0].GlobalRate)
+	}
+	res := &ClusterResult{Shards: shards, Aggregate: agg}
+	if got := res.TotalWirePkts(); got != 12 {
+		t.Fatalf("TotalWirePkts %d, want 12", got)
+	}
+	if got := res.TotalDrops(); got != 3 {
+		t.Fatalf("TotalDrops %d, want 3", got)
+	}
+	if all := aggregateBins([]ShardRun{{Name: "w1"}}); len(all) != 0 {
+		t.Fatalf("all-nil aggregate has %d bins, want 0", len(all))
+	}
+}
+
+// cancelAfterSource cancels a context after its wrapped source has
+// served n batches, landing the cancellation between a step barrier and
+// the next coordination round.
+type cancelAfterSource struct {
+	trace.Source
+	n      int
+	count  int
+	cancel context.CancelFunc
+}
+
+func (s *cancelAfterSource) NextBatch() (pkt.Batch, bool) {
+	s.count++
+	if s.count == s.n {
+		s.cancel()
+	}
+	return s.Source.NextBatch()
+}
+
+// TestClusterStreamContextCancelMidCoordinate cancels a coordinated
+// cluster mid-run from inside a shard's source and verifies the
+// teardown contract: ctx.Err() comes back, every shard's capacities
+// stay aligned with its bins, the partial aggregate is well-formed, and
+// no shard pipeline or pool goroutine outlives the call.
+func TestClusterStreamContextCancelMidCoordinate(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{0, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const dur = 5 * time.Second
+			total := clusterCapacity(t, dur)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			shards := minShareClusterShards(dur)
+			shards[1].Source = &cancelAfterSource{Source: shards[1].Source, n: 13, cancel: cancel}
+			c := NewCluster(ClusterConfig{
+				Base:          Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 42, Workers: workers},
+				TotalCapacity: total,
+				ShardPolicy:   MMFSCPU(),
+				Runners:       3,
+			}, shards)
+			res, err := c.RunContext(ctx)
+			if err != context.Canceled {
+				t.Fatalf("RunContext error %v, want context.Canceled", err)
+			}
+			maxBins := 0
+			for _, sh := range res.Shards {
+				if sh.Result == nil {
+					t.Fatalf("shard %s has no record after cancellation", sh.Name)
+				}
+				if len(sh.Capacities) != len(sh.Result.Bins) {
+					t.Fatalf("shard %s: %d capacities vs %d bins", sh.Name, len(sh.Capacities), len(sh.Result.Bins))
+				}
+				if len(sh.Result.Bins) == 0 {
+					t.Fatalf("shard %s processed no bins before the cancel at batch 13", sh.Name)
+				}
+				if n := len(sh.Result.Bins); n > maxBins {
+					maxBins = n
+				}
+			}
+			if len(res.Aggregate) != maxBins {
+				t.Fatalf("aggregate has %d bins, want %d", len(res.Aggregate), maxBins)
+			}
+		})
+	}
+	// Every pipeline, worker pool and runner must be torn down; give
+	// exiting goroutines a moment to unwind before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine leak after cancelled cluster runs: %d before, %d after", before, g)
+	}
+}
+
+// TestCoordWireRoundTrip pins the TCP frame format: hello, report (with
+// and without the done flag) and grant survive an encode/decode round
+// trip, and truncated payloads are rejected rather than misparsed.
+func TestCoordWireRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = appendHelloFrame(buf, "uplink-7", 0.25)
+	buf = appendReportFrame(buf, DemandReport{Bin: 42, Demand: 1.5e6, MinShare: 0.25})
+	buf = appendReportFrame(buf, DemandReport{Bin: 43, Done: true})
+	buf = appendGrantFrame(buf, BudgetGrant{Round: 9, Capacity: 7.25e6})
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	p, err := readCoordFrame(br, nil)
+	if err != nil {
+		t.Fatalf("read hello frame: %v", err)
+	}
+	name, minShare, ok := decodeHello(p)
+	if !ok || name != "uplink-7" || minShare != 0.25 {
+		t.Fatalf("hello decoded as (%q, %v, %v)", name, minShare, ok)
+	}
+	p, err = readCoordFrame(br, p)
+	if err != nil {
+		t.Fatalf("read report frame: %v", err)
+	}
+	r, ok := decodeReport(p)
+	if !ok || r.Bin != 42 || r.Demand != 1.5e6 || r.MinShare != 0.25 || r.Done {
+		t.Fatalf("report decoded as %+v (%v)", r, ok)
+	}
+	p, err = readCoordFrame(br, p)
+	if err != nil {
+		t.Fatalf("read done-report frame: %v", err)
+	}
+	if r, ok = decodeReport(p); !ok || !r.Done || r.Bin != 43 {
+		t.Fatalf("done report decoded as %+v (%v)", r, ok)
+	}
+	p, err = readCoordFrame(br, p)
+	if err != nil {
+		t.Fatalf("read grant frame: %v", err)
+	}
+	g, ok := decodeGrant(p)
+	if !ok || g.Round != 9 || g.Capacity != 7.25e6 {
+		t.Fatalf("grant decoded as %+v (%v)", g, ok)
+	}
+
+	if _, _, ok := decodeHello([]byte{coordMsgHello, 5, 'a'}); ok {
+		t.Fatal("truncated hello decoded")
+	}
+	if _, ok := decodeReport([]byte{coordMsgReport, 1, 2, 3}); ok {
+		t.Fatal("truncated report decoded")
+	}
+	if _, ok := decodeGrant([]byte{coordMsgGrant}); ok {
+		t.Fatal("truncated grant decoded")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTCPCoordinationPartitionRejoin drives the full TCP state machine
+// in-process: two workers join and split the budget; one goes silent
+// past the lease and is marked partitioned while its budget moves to
+// the survivor and its own grant goes stale (local-only degradation);
+// it then reports again and rejoins the allocation.
+func TestTCPCoordinationPartitionRejoin(t *testing.T) {
+	const total = 1000.0
+	coord := NewCoordinator(sched.MMFSCPU{}, total)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := ServeCoordinator(ln, coord, CoordServerConfig{
+		Heartbeat: 10 * time.Millisecond,
+		Lease:     60 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	ccfg := CoordClientConfig{
+		Lease:    60 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond,
+		RetryMax: 20 * time.Millisecond,
+	}
+	alpha, err := DialCoordinator(srv.Addr().String(), "alpha", ccfg)
+	if err != nil {
+		t.Fatalf("dial alpha: %v", err)
+	}
+	defer alpha.Close()
+	beta, err := DialCoordinator(srv.Addr().String(), "beta", ccfg)
+	if err != nil {
+		t.Fatalf("dial beta: %v", err)
+	}
+	defer beta.Close()
+
+	report := func(c *CoordClient, demand float64) {
+		c.Report(DemandReport{Node: c.Name(), Bin: 1, Demand: demand})
+	}
+	partitioned := func(name string) bool {
+		for _, n := range coord.Status() {
+			if n.Name == name {
+				return n.Partitioned
+			}
+		}
+		return false
+	}
+
+	// Phase 1: both report, both must hold grants summing to the budget.
+	waitFor(t, 5*time.Second, "both workers granted", func() bool {
+		report(alpha, 600)
+		report(beta, 600)
+		_, aok := alpha.Grant()
+		_, bok := beta.Grant()
+		return aok && bok
+	})
+	ga, _ := alpha.Grant()
+	gb, _ := beta.Grant()
+	if sum := ga.Capacity + gb.Capacity; math.Abs(sum-total) > 1e-6*total {
+		t.Fatalf("grants sum to %v, want %v", sum, total)
+	}
+
+	// Phase 2: beta goes silent. Past the lease the coordinator marks it
+	// partitioned, the survivor absorbs the whole budget, and beta's own
+	// grant goes stale — it degrades to local-only shedding.
+	waitFor(t, 5*time.Second, "beta partitioned and alpha absorbing the budget", func() bool {
+		report(alpha, 600)
+		g, ok := alpha.Grant()
+		return partitioned("beta") && ok && math.Abs(g.Capacity-total) < 1e-6*total
+	})
+	waitFor(t, 5*time.Second, "beta degraded to local-only", func() bool {
+		return beta.Degraded()
+	})
+
+	// Phase 3: beta reports again and must rejoin the allocation.
+	waitFor(t, 5*time.Second, "beta rejoined", func() bool {
+		report(alpha, 600)
+		report(beta, 600)
+		g, ok := beta.Grant()
+		return !partitioned("beta") && ok && g.Capacity < total
+	})
+}
+
+// TestNodeStreamContextTCPWorker runs a standalone worker Node against
+// a TCP coordinator end to end: the trace completes, per-bin capacities
+// stay aligned, and the coordinator sees the node's reports and its
+// final done notice.
+func TestNodeStreamContextTCPWorker(t *testing.T) {
+	coord := NewCoordinator(sched.MMFSCPU{}, 5e6)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := ServeCoordinator(ln, coord, CoordServerConfig{
+		Heartbeat: 5 * time.Millisecond,
+		Lease:     50 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	client, err := DialCoordinator(srv.Addr().String(), "w0", CoordClientConfig{Lease: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	qs := []queries.Query{
+		queries.NewFlows(queries.Config{Seed: 5}),
+		queries.NewCounter(queries.Config{Seed: 5}),
+	}
+	sys := New(Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 7, Capacity: 5e6, Workers: 1}, qs)
+	node := NewNode(sys, client, NodeConfig{Name: "w0"})
+	sink := newResultSink(Predictive)
+	src := trace.NewGenerator(trace.CESCA2(3, 2*time.Second, 0.3))
+	if err := node.StreamContext(context.Background(), src, sink); err != nil {
+		t.Fatalf("worker stream: %v", err)
+	}
+	if n := len(sink.res.Bins); n == 0 {
+		t.Fatal("worker produced no bins")
+	}
+	if len(node.Capacities()) != len(sink.res.Bins) {
+		t.Fatalf("%d capacities vs %d bins", len(node.Capacities()), len(sink.res.Bins))
+	}
+	waitFor(t, 5*time.Second, "coordinator saw the done report", func() bool {
+		st := coord.Status()
+		return len(st) == 1 && st[0].Name == "w0" && st[0].Done && st[0].Bin > 0
+	})
+}
+
+// BenchmarkLoopbackCoordination prices the coordination layer the split
+// introduced. roundN is the pure per-bin cost of one loopback
+// coordination round over N nodes — report, allocate, read grants —
+// which is the overhead every coordinated bin pays on top of shard
+// execution; it runs on scratch buffers and must stay allocation-free.
+// static and coordinated price a full 3-shard cluster run with
+// coordination off and on; the ns/bin delta between them is the
+// end-to-end overhead including the demand EWMAs and grant
+// application.
+//
+//	go test -bench LoopbackCoordination -benchtime 100x ./pkg/loadshed
+func BenchmarkLoopbackCoordination(b *testing.B) {
+	for _, nodes := range []int{2, 8, 32} {
+		// No dashes in sub-benchmark names: benchjson strips a trailing
+		// -N as the go-test cpus suffix.
+		b.Run(fmt.Sprintf("round%d", nodes), func(b *testing.B) {
+			coord := NewCoordinator(MMFSCPU(), 3e6)
+			trs := make([]NodeTransport, nodes)
+			demands := make([]float64, nodes)
+			for j := range trs {
+				trs[j] = NewLoopback(coord, fmt.Sprintf("n%d", j), 0)
+				demands[j] = 1e6 * float64(j+1) / float64(nodes)
+			}
+			round := func(bin int64) {
+				for j, tr := range trs {
+					tr.Report(DemandReport{Bin: bin, Demand: demands[j]})
+				}
+				coord.AllocateRound()
+				for _, tr := range trs {
+					tr.Grant()
+				}
+			}
+			round(0) // grow the coordinator's scratch buffers once
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round(int64(i) + 1)
+			}
+		})
+	}
+
+	const dur = 2 * time.Second
+	links := AsymmetricMix(3, dur, 0.05, 4)
+	batches := make([]*trace.MemorySource, len(links))
+	var total float64
+	for i, l := range links {
+		g := trace.NewGenerator(l.Config)
+		batches[i] = trace.NewMemorySource(trace.Record(g), g.TimeBin())
+		total += MeasureCapacity(batches[i], []queries.Query{
+			queries.NewFlows(queries.Config{Seed: uint64(i)}),
+			queries.NewCounter(queries.Config{Seed: uint64(i)}),
+		}, 77)
+	}
+	total /= 2
+	for _, mode := range []struct {
+		name   string
+		policy sched.Strategy
+	}{{"static", nil}, {"coordinated", MMFSCPU()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			bins := 0
+			for i := 0; i < b.N; i++ {
+				shards := make([]Shard, len(links))
+				for j := range links {
+					shards[j] = Shard{
+						Name:   links[j].Name,
+						Source: batches[j],
+						Queries: []queries.Query{
+							queries.NewFlows(queries.Config{Seed: uint64(j)}),
+							queries.NewCounter(queries.Config{Seed: uint64(j)}),
+						},
+					}
+				}
+				res := NewCluster(ClusterConfig{
+					Base:          Config{Scheme: Predictive, Strategy: MMFSPkt(), Seed: 42},
+					TotalCapacity: total,
+					ShardPolicy:   mode.policy,
+					Runners:       1,
+				}, shards).Run()
+				bins = len(res.Shards[0].Result.Bins)
+			}
+			if bins > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bins), "ns/bin")
+			}
+		})
+	}
+}

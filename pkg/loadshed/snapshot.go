@@ -1,0 +1,217 @@
+package loadshed
+
+// snapshot.go — checkpointing a System between runs, so a shard can be
+// drained on one process and resumed on another (or later) without
+// perturbing a single decision. The snapshot is taken at the idle
+// quiesce point after a run finishes — every bin flushed, every
+// extractor rotated — which is why it is small: interval-scoped state
+// (bitmaps, sketches, per-interval query accumulators) is rebuilt from
+// scratch at the next interval start and carries nothing across the
+// boundary. What does carry across, and is therefore captured, is:
+//
+//   - the Governor's controller state (error/overhead EWMAs, delay,
+//     rtthresh, ssthr — Algorithm 1's memory),
+//   - every RNG stream position (measurement noise, packet samplers)
+//     and every flow sampler's interval counter (its hash function is
+//     a pure function of seed and counter),
+//   - every predictor's history ring, in ring-slot order — the
+//     regressions iterate storage order, so preserving slot order
+//     preserves every floating-point sum bit for bit,
+//   - cumulative operation counters (extractor ops, MLR FCBF/fit ops)
+//     and the reactive scheme's rate/delay memory.
+//
+// A restored System resumed on the remainder of a trace produces
+// bit-identical bins to one that never stopped (see
+// TestSnapshotRestoreBitIdentical).
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+)
+
+// QuerySnapshot is the cross-interval state of one registered query.
+type QuerySnapshot struct {
+	Name          string
+	ExtOps        int64  // cumulative feature-extraction op counter
+	NoiseState    uint64 // per-query measurement-noise RNG position
+	PSampState    uint64 // per-query packet-sampler RNG position
+	FSampInterval uint64 // per-query flow-sampler interval counter
+
+	// Predictor state, populated according to the system's
+	// PredictorKind: Hist for mlr and slr (plus the MLR op counters),
+	// the EWMA pair for ewma.
+	Hist       *predict.HistoryState
+	FCBFOps    int64
+	FitOps     int64
+	EWMAValue  float64
+	EWMASeeded bool
+}
+
+// SystemSnapshot is a complete between-runs checkpoint of a System.
+// Produce with System.Snapshot, persist with Encode/DecodeSnapshot
+// (gob — the governor's slow-start threshold is +Inf until the first
+// buffer loss, which JSON cannot carry), and install into a freshly
+// constructed System with the same Config and query set via Restore.
+type SystemSnapshot struct {
+	Seed          uint64
+	PredictorKind string
+
+	Governor      core.State
+	NoiseState    uint64
+	ShedSampState uint64
+	GlobalExtOps  int64
+	ShedExtOps    int64
+	ReactiveRate  float64
+	ReactiveDelay float64
+	LastConsumed  float64
+
+	Queries []QuerySnapshot
+}
+
+// Encode writes the snapshot to w in gob encoding.
+func (snap *SystemSnapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*SystemSnapshot, error) {
+	snap := new(SystemSnapshot)
+	if err := gob.NewDecoder(r).Decode(snap); err != nil {
+		return nil, fmt.Errorf("loadshed: decode snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// Snapshot checkpoints the system's cross-interval state. It must be
+// called between runs (never while Run/Stream is in flight): the
+// between-runs quiesce point is what keeps interval-scoped state out of
+// the snapshot. Custom-shedding systems are not snapshottable — their
+// per-query shedding state lives inside the query implementations,
+// outside the engine's reach — and neither is a system with registry
+// ops still queued (apply them with a run, or snapshot before queuing).
+func (s *System) Snapshot() (*SystemSnapshot, error) {
+	if s.manager != nil {
+		return nil, fmt.Errorf("loadshed: snapshot: custom shedding state is query-owned and not snapshottable")
+	}
+	s.regMu.Lock()
+	pending := len(s.regOps)
+	s.regMu.Unlock()
+	if pending > 0 {
+		return nil, fmt.Errorf("loadshed: snapshot: %d registry ops still queued; they would be lost", pending)
+	}
+	snap := &SystemSnapshot{
+		Seed:          s.cfg.Seed,
+		PredictorKind: s.cfg.PredictorKind,
+		Governor:      s.gov.Snapshot(),
+		NoiseState:    s.noise.State(),
+		ShedSampState: s.shedSamp.State(),
+		GlobalExtOps:  s.globalExt.Ops,
+		ShedExtOps:    s.shedExt.Ops,
+		ReactiveRate:  s.reactiveRate,
+		ReactiveDelay: s.reactiveDelay,
+		LastConsumed:  s.lastConsumed,
+	}
+	for _, rq := range s.qs {
+		if rq == nil {
+			continue // tombstoned by a mid-run removal; gone semantically
+		}
+		qs := QuerySnapshot{
+			Name:          rq.q.Name(),
+			ExtOps:        rq.ext.Ops,
+			NoiseState:    rq.noise.State(),
+			PSampState:    rq.psamp.State(),
+			FSampInterval: rq.fsamp.Interval(),
+		}
+		switch p := rq.pred.(type) {
+		case *predict.MLR:
+			st := p.History().State()
+			qs.Hist = &st
+			qs.FCBFOps = p.FCBFOps
+			qs.FitOps = p.FitOps
+		case *predict.SLR:
+			st := p.History().State()
+			qs.Hist = &st
+		case *predict.EWMA:
+			qs.EWMAValue, qs.EWMASeeded = p.State()
+		default:
+			return nil, fmt.Errorf("loadshed: snapshot: unsupported predictor %T for query %q", rq.pred, qs.Name)
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	return snap, nil
+}
+
+// Restore installs a snapshot into the system. The receiver must be
+// freshly constructed (or idle between runs) with the same Config and
+// the same query set, in the same order, as the snapshotted system —
+// query instances themselves need no restoring, because their state is
+// interval-scoped and resets at the next interval start. Restore
+// verifies what it can (predictor kind, query names and order, history
+// capacity) and reports mismatches rather than installing a torn state.
+func (s *System) Restore(snap *SystemSnapshot) error {
+	if snap.PredictorKind != s.cfg.PredictorKind {
+		return fmt.Errorf("loadshed: restore: predictor kind %q, snapshot has %q", s.cfg.PredictorKind, snap.PredictorKind)
+	}
+	if s.manager != nil {
+		return fmt.Errorf("loadshed: restore: custom shedding systems are not snapshottable")
+	}
+	live := 0
+	for _, rq := range s.qs {
+		if rq != nil {
+			live++
+		}
+	}
+	if live != len(snap.Queries) {
+		return fmt.Errorf("loadshed: restore: system has %d queries, snapshot has %d", live, len(snap.Queries))
+	}
+	i := 0
+	for _, rq := range s.qs {
+		if rq == nil {
+			continue
+		}
+		qs := &snap.Queries[i]
+		i++
+		if got := rq.q.Name(); got != qs.Name {
+			return fmt.Errorf("loadshed: restore: query %d is %q, snapshot has %q", i-1, got, qs.Name)
+		}
+		switch p := rq.pred.(type) {
+		case *predict.MLR:
+			if qs.Hist == nil {
+				return fmt.Errorf("loadshed: restore: snapshot for %q carries no history", qs.Name)
+			}
+			if err := p.History().SetState(*qs.Hist); err != nil {
+				return fmt.Errorf("loadshed: restore %q: %w (HistoryLen mismatch?)", qs.Name, err)
+			}
+			p.FCBFOps = qs.FCBFOps
+			p.FitOps = qs.FitOps
+		case *predict.SLR:
+			if qs.Hist == nil {
+				return fmt.Errorf("loadshed: restore: snapshot for %q carries no history", qs.Name)
+			}
+			if err := p.History().SetState(*qs.Hist); err != nil {
+				return fmt.Errorf("loadshed: restore %q: %w (HistoryLen mismatch?)", qs.Name, err)
+			}
+		case *predict.EWMA:
+			p.Restore(qs.EWMAValue, qs.EWMASeeded)
+		default:
+			return fmt.Errorf("loadshed: restore: unsupported predictor %T for query %q", rq.pred, qs.Name)
+		}
+		rq.ext.Ops = qs.ExtOps
+		rq.noise.SetState(qs.NoiseState)
+		rq.psamp.SetState(qs.PSampState)
+		rq.fsamp.SetInterval(qs.FSampInterval)
+	}
+	s.gov.Restore(snap.Governor)
+	s.noise.SetState(snap.NoiseState)
+	s.shedSamp.SetState(snap.ShedSampState)
+	s.globalExt.Ops = snap.GlobalExtOps
+	s.shedExt.Ops = snap.ShedExtOps
+	s.reactiveRate = snap.ReactiveRate
+	s.reactiveDelay = snap.ReactiveDelay
+	s.lastConsumed = snap.LastConsumed
+	return nil
+}

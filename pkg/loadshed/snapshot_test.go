@@ -1,0 +1,156 @@
+package loadshed
+
+// snapshot_test.go pins the checkpoint contract: a System snapshotted
+// at an interval boundary and restored into a fresh System resumes the
+// trace bit-identically to one that never stopped.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/queries"
+	"repro/internal/trace"
+)
+
+// snapshotTestQueries returns the fresh query set every system in these
+// tests runs.
+func snapshotTestQueries() []queries.Query {
+	return []queries.Query{
+		queries.NewFlows(queries.Config{Seed: 11}),
+		queries.NewCounter(queries.Config{Seed: 11}),
+		queries.NewTopK(queries.Config{Seed: 11}, 0),
+	}
+}
+
+// TestSnapshotRestoreBitIdentical: run 4 intervals straight through;
+// separately run 2 intervals, snapshot (through an encode/decode round
+// trip), restore into a fresh System, run the remaining 2. Bins and
+// interval results must match the uninterrupted run bit for bit.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	for _, kind := range []string{"mlr", "slr", "ewma"} {
+		t.Run(kind, func(t *testing.T) {
+			const dur = 4 * time.Second // 4 measurement intervals
+			g := trace.NewGenerator(trace.CESCA2(9, dur, 0.4))
+			batches := trace.Record(g)
+			bin := g.TimeBin()
+			perInterval := int(time.Second / bin)
+			cut := 2 * perInterval // exact interval boundary
+			if cut <= 0 || cut >= len(batches) {
+				t.Fatalf("bad cut %d of %d batches", cut, len(batches))
+			}
+
+			qs := snapshotTestQueries()
+			capacity := MeasureCapacity(trace.NewMemorySource(batches, bin), qs, 77) * 0.7
+			mkSys := func() *System {
+				return New(Config{
+					Scheme:        Predictive,
+					Strategy:      MMFSPkt(),
+					Seed:          99,
+					Capacity:      capacity,
+					Workers:       1,
+					PredictorKind: kind,
+				}, snapshotTestQueries())
+			}
+
+			ref := mkSys().Run(trace.NewMemorySource(batches, bin))
+
+			s1 := mkSys()
+			r1 := s1.Run(trace.NewMemorySource(batches[:cut], bin))
+			snap, err := s1.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := snap.Encode(&buf); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			decoded, err := DecodeSnapshot(&buf)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			s2 := mkSys()
+			if err := s2.Restore(decoded); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			r2 := s2.Run(trace.NewMemorySource(batches[cut:], bin))
+
+			if got, want := len(r1.Bins)+len(r2.Bins), len(ref.Bins); got != want {
+				t.Fatalf("split runs produced %d bins, uninterrupted %d", got, want)
+			}
+			for i := range r1.Bins {
+				if !reflect.DeepEqual(r1.Bins[i], ref.Bins[i]) {
+					t.Fatalf("pre-snapshot bin %d diverged:\n got %+v\nwant %+v", i, r1.Bins[i], ref.Bins[i])
+				}
+			}
+			for i := range r2.Bins {
+				if !reflect.DeepEqual(r2.Bins[i], ref.Bins[len(r1.Bins)+i]) {
+					t.Fatalf("resumed bin %d diverged from uninterrupted bin %d:\n got %+v\nwant %+v",
+						i, len(r1.Bins)+i, r2.Bins[i], ref.Bins[len(r1.Bins)+i])
+				}
+			}
+
+			// Interval results: the resumed run restarts its interval
+			// numbering at 0; everything else must match bit for bit.
+			if got, want := len(r1.Intervals)+len(r2.Intervals), len(ref.Intervals); got != want {
+				t.Fatalf("split runs produced %d intervals, uninterrupted %d", got, want)
+			}
+			for i := range r1.Intervals {
+				if !reflect.DeepEqual(r1.Intervals[i], ref.Intervals[i]) {
+					t.Fatalf("pre-snapshot interval %d diverged", i)
+				}
+			}
+			for i := range r2.Intervals {
+				got := r2.Intervals[i]
+				want := ref.Intervals[len(r1.Intervals)+i]
+				got.Index = want.Index // numbering restarts; content must not
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("resumed interval %d diverged from uninterrupted interval %d", i, want.Index)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreErrors pins the refusal paths: snapshots refuse
+// queued registry ops, and Restore refuses mismatched predictor kinds
+// and query sets instead of installing a torn state.
+func TestSnapshotRestoreErrors(t *testing.T) {
+	mk := func(kind string, qs []queries.Query) *System {
+		return New(Config{
+			Scheme:        Predictive,
+			Strategy:      MMFSPkt(),
+			Seed:          99,
+			Capacity:      1e6,
+			Workers:       1,
+			PredictorKind: kind,
+		}, qs)
+	}
+
+	s := mk("mlr", snapshotTestQueries())
+	if err := s.AddQuery(queries.NewHighWatermark(queries.Config{Seed: 3})); err != nil {
+		t.Fatalf("queue add: %v", err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot with queued registry ops must fail")
+	}
+
+	donor := mk("mlr", snapshotTestQueries())
+	snap, err := donor.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := mk("ewma", snapshotTestQueries()).Restore(snap); err == nil {
+		t.Fatal("restore across predictor kinds must fail")
+	}
+	short := mk("mlr", snapshotTestQueries()[:2])
+	if err := short.Restore(snap); err == nil {
+		t.Fatal("restore with a smaller query set must fail")
+	}
+	reordered := snapshotTestQueries()
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if err := mk("mlr", reordered).Restore(snap); err == nil {
+		t.Fatal("restore with reordered queries must fail")
+	}
+}

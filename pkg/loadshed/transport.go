@@ -1,0 +1,621 @@
+package loadshed
+
+// transport.go — how a Node talks to the Coordinator. Two message
+// types cross the boundary in either deployment:
+//
+//	DemandReport  node → coordinator, once per bin
+//	BudgetGrant   coordinator → node, once per allocation round
+//
+// The loopback transport hands both to a Coordinator in the same
+// process, synchronously — this is what Cluster wires up, and it makes
+// the split refactor observationally invisible (bit-identical results,
+// no goroutines, no copies beyond the small report struct).
+//
+// The TCP transport runs the same protocol over length-prefixed binary
+// frames (the framing idiom of internal/trace/live.go: little-endian
+// uint16 payload length, then the payload). A connection starts with a
+// hello frame naming the worker; the worker then streams report frames
+// and the coordinator pushes grant frames on its heartbeat. Workers
+// reconnect with backoff after any failure, re-helloing on each attempt
+// — which is exactly the rejoin path, since Coordinator.Join clears the
+// partitioned flag.
+//
+// Wire format (all integers little-endian, floats IEEE-754 bits):
+//
+//	frame   := u16 payloadLen | payload
+//	hello   := u8 0x01 | u8 nameLen | name | f64 minShare
+//	report  := u8 0x02 | i64 bin | f64 demand | f64 minShare | u8 flags   (flags bit0 = done)
+//	grant   := u8 0x03 | u64 round | f64 capacity
+//
+// Reports and grants never carry the node name: the hello binds the
+// connection to a name and everything after inherits it.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DemandReport is a node's per-bin message to the coordinator: the
+// EWMA-smoothed full-rate demand it would consume without shedding,
+// plus the minimum share it negotiated. Done marks the node's final
+// report, after its trace ended.
+type DemandReport struct {
+	Node     string
+	Bin      int64
+	Demand   float64 // cycles per bin at full rate
+	MinShare float64
+	Done     bool
+}
+
+// BudgetGrant is the coordinator's capacity decision for one node:
+// the cycle budget it may burn per bin until the next round.
+type BudgetGrant struct {
+	Node     string
+	Round    uint64
+	Capacity float64
+}
+
+// NodeTransport is a node's link to the budget coordinator. Report
+// sends the node's per-bin demand; Grant returns the most recent
+// capacity decision, with ok=false when no sufficiently fresh grant
+// exists (coordinator unreachable, no allocation round yet) — the node
+// then keeps shedding on its current local capacity. Implementations
+// must tolerate Report errors being ignored: coordination is advisory,
+// never load-bearing for the node's own run.
+type NodeTransport interface {
+	Report(r DemandReport) error
+	Grant() (BudgetGrant, bool)
+	Close() error
+}
+
+// loopbackTransport binds a node to an in-process Coordinator by
+// membership handle, so delivery is a method call and two shards may
+// even share a display name without colliding.
+type loopbackTransport struct {
+	coord *Coordinator
+	node  *coordNode
+}
+
+// NewLoopback joins a node named name to coord and returns its
+// synchronous in-process transport. Grants are fresh for exactly one
+// allocation round, mirroring the lockstep cluster loop where every
+// round is consumed at the bin barrier that produced it.
+func NewLoopback(coord *Coordinator, name string, minShare float64) NodeTransport {
+	return &loopbackTransport{coord: coord, node: coord.join(name, minShare)}
+}
+
+func (t *loopbackTransport) Report(r DemandReport) error {
+	t.coord.reportNode(t.node, r)
+	return nil
+}
+
+func (t *loopbackTransport) Grant() (BudgetGrant, bool) { return t.coord.grantFor(t.node) }
+
+func (t *loopbackTransport) Close() error { return nil }
+
+// --- wire encoding ---
+
+const (
+	coordMsgHello  = 0x01
+	coordMsgReport = 0x02
+	coordMsgGrant  = 0x03
+
+	reportFlagDone = 0x01
+
+	// coordMaxName bounds worker names on the wire (u8 length).
+	coordMaxName = 255
+)
+
+// ErrCoordinatorUnreachable is returned by CoordClient.Report while no
+// connection to the coordinator is up; the caller sheds locally and
+// retries next bin while the client redials in the background.
+var ErrCoordinatorUnreachable = errors.New("loadshed: coordinator unreachable")
+
+func appendU16Frame(dst []byte, payload func(dst []byte) []byte) []byte {
+	off := len(dst)
+	dst = append(dst, 0, 0)
+	dst = payload(dst)
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(dst)-off-2))
+	return dst
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendHelloFrame(dst []byte, name string, minShare float64) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgHello, byte(len(name)))
+		dst = append(dst, name...)
+		return appendF64(dst, minShare)
+	})
+}
+
+func appendReportFrame(dst []byte, r DemandReport) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgReport)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Bin))
+		dst = appendF64(dst, r.Demand)
+		dst = appendF64(dst, r.MinShare)
+		var flags byte
+		if r.Done {
+			flags |= reportFlagDone
+		}
+		return append(dst, flags)
+	})
+}
+
+func appendGrantFrame(dst []byte, g BudgetGrant) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgGrant)
+		dst = binary.LittleEndian.AppendUint64(dst, g.Round)
+		return appendF64(dst, g.Capacity)
+	})
+}
+
+// readCoordFrame reads one length-prefixed frame into buf (grown as
+// needed) and returns the payload; the payload is only valid until the
+// next call with the same buf.
+func readCoordFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[:]))
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func decodeHello(p []byte) (name string, minShare float64, ok bool) {
+	if len(p) < 2 {
+		return "", 0, false
+	}
+	nl := int(p[1])
+	if len(p) != 2+nl+8 {
+		return "", 0, false
+	}
+	name = string(p[2 : 2+nl])
+	minShare = math.Float64frombits(binary.LittleEndian.Uint64(p[2+nl:]))
+	return name, minShare, name != ""
+}
+
+func decodeReport(p []byte) (DemandReport, bool) {
+	if len(p) != 1+8+8+8+1 {
+		return DemandReport{}, false
+	}
+	return DemandReport{
+		Bin:      int64(binary.LittleEndian.Uint64(p[1:])),
+		Demand:   math.Float64frombits(binary.LittleEndian.Uint64(p[9:])),
+		MinShare: math.Float64frombits(binary.LittleEndian.Uint64(p[17:])),
+		Done:     p[25]&reportFlagDone != 0,
+	}, true
+}
+
+func decodeGrant(p []byte) (BudgetGrant, bool) {
+	if len(p) != 1+8+8 {
+		return BudgetGrant{}, false
+	}
+	return BudgetGrant{
+		Round:    binary.LittleEndian.Uint64(p[1:]),
+		Capacity: math.Float64frombits(binary.LittleEndian.Uint64(p[9:])),
+	}, true
+}
+
+// --- TCP server (coordinator side) ---
+
+// CoordServerConfig tunes the coordinator's heartbeat state machine.
+type CoordServerConfig struct {
+	// Heartbeat is the allocation cadence: every tick the coordinator
+	// runs AllocateLease over the reports received so far and pushes
+	// fresh grants to every connected worker. Default 500ms.
+	Heartbeat time.Duration
+	// Lease is how long a silent worker stays in the allocation before
+	// being marked partitioned (its budget then redistributes to the
+	// survivors). Default 3×Heartbeat. Workers use the same value to
+	// judge grant freshness, so keep the two sides configured alike.
+	Lease time.Duration
+}
+
+func (c CoordServerConfig) withDefaults() CoordServerConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.Lease <= 0 {
+		c.Lease = 3 * c.Heartbeat
+	}
+	return c
+}
+
+// CoordServer exposes a Coordinator over TCP: it accepts worker
+// connections, folds their report streams into the coordinator, and on
+// every heartbeat allocates and pushes grants back. Close stops the
+// listener, the heartbeat, and every worker connection.
+type CoordServer struct {
+	coord *Coordinator
+	cfg   CoordServerConfig
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns map[string]*coordConn
+
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closing atomic.Bool
+}
+
+// coordConn serializes grant pushes to one worker connection.
+type coordConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (cc *coordConn) send(frame []byte, timeout time.Duration) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.c.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := cc.c.Write(frame)
+	cc.c.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// ServeCoordinator serves coord on ln until Close. The listener is
+// adopted: Close closes it.
+func ServeCoordinator(ln net.Listener, coord *Coordinator, cfg CoordServerConfig) *CoordServer {
+	s := &CoordServer{
+		coord: coord,
+		cfg:   cfg.withDefaults(),
+		ln:    ln,
+		conns: make(map[string]*coordConn),
+		quit:  make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.heartbeatLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *CoordServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Coordinator returns the coordinator being served (for status planes).
+func (s *CoordServer) Coordinator() *Coordinator { return s.coord }
+
+// Close shuts the server down: no new connections, no more heartbeats,
+// all worker connections closed.
+func (s *CoordServer) Close() error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	close(s.quit)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, cc := range s.conns {
+		cc.c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *CoordServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *CoordServer) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReaderSize(c, 512)
+
+	// The hello must arrive promptly; everything after is paced by the
+	// worker's bins, so no deadline applies to the report stream.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := readCoordFrame(br, nil)
+	if err != nil || len(frame) < 1 || frame[0] != coordMsgHello {
+		c.Close()
+		return
+	}
+	name, minShare, ok := decodeHello(frame)
+	if !ok {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	s.coord.Join(name, minShare)
+
+	cc := &coordConn{c: c}
+	s.mu.Lock()
+	if old := s.conns[name]; old != nil {
+		old.c.Close() // a reconnecting worker supersedes its stale conn
+	}
+	s.conns[name] = cc
+	s.mu.Unlock()
+
+	for {
+		frame, err = readCoordFrame(br, frame)
+		if err != nil {
+			break
+		}
+		if len(frame) >= 1 && frame[0] == coordMsgReport {
+			if r, ok := decodeReport(frame); ok {
+				r.Node = name
+				s.coord.Report(r)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if s.conns[name] == cc {
+		delete(s.conns, name)
+	}
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *CoordServer) heartbeatLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Heartbeat)
+	defer ticker.Stop()
+	var grants []BudgetGrant
+	var frame []byte
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+		}
+		s.coord.AllocateLease(s.cfg.Lease)
+		grants = s.coord.currentGrants(grants)
+		for _, g := range grants {
+			s.mu.Lock()
+			cc := s.conns[g.Node]
+			s.mu.Unlock()
+			if cc == nil {
+				continue
+			}
+			frame = appendGrantFrame(frame[:0], g)
+			if cc.send(frame, s.cfg.Heartbeat) != nil {
+				cc.c.Close() // reader notices and unregisters
+			}
+		}
+	}
+}
+
+// --- TCP client (worker side) ---
+
+// CoordClientConfig tunes a worker's coordinator link.
+type CoordClientConfig struct {
+	// MinShare is the demand fraction announced in the hello (see
+	// Shard.MinShare).
+	MinShare float64
+	// Lease bounds grant freshness: a grant older than this is ignored
+	// and the worker degrades to local-only shedding. Default 1.5s —
+	// 3× the default server heartbeat; match it to the server's Lease.
+	Lease time.Duration
+	// DialTimeout bounds each (re)connection attempt and each report
+	// write. Default 2s.
+	DialTimeout time.Duration
+	// RetryMin/RetryMax bound the reconnect backoff. Defaults 100ms/2s.
+	RetryMin time.Duration
+	RetryMax time.Duration
+}
+
+func (c CoordClientConfig) withDefaults() CoordClientConfig {
+	if c.Lease <= 0 {
+		c.Lease = 1500 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	return c
+}
+
+// CoordClient is a worker's NodeTransport over TCP. It maintains the
+// connection in the background — dialing, re-helloing after every
+// reconnect (the rejoin path), and folding pushed grants into a leased
+// local copy — so Report and Grant never block on the network beyond a
+// single bounded write.
+type CoordClient struct {
+	addr string
+	name string
+	cfg  CoordClientConfig
+
+	mu      sync.Mutex
+	conn    net.Conn
+	grant   BudgetGrant
+	grantAt time.Time
+	wbuf    []byte
+
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+	connected  atomic.Bool
+	reconnects atomic.Int64
+}
+
+// DialCoordinator connects a worker named name to the coordinator at
+// addr. The first dial happens synchronously so configuration errors
+// surface immediately; if it fails, the returned client is still live
+// and keeps retrying in the background (the worker starts degraded and
+// joins when the coordinator appears), so a non-nil error with a
+// non-nil client is a warning, not a failure. Only an invalid name
+// returns a nil client.
+func DialCoordinator(addr, name string, cfg CoordClientConfig) (*CoordClient, error) {
+	if name == "" || len(name) > coordMaxName {
+		return nil, fmt.Errorf("loadshed: worker name must be 1..%d bytes, got %d", coordMaxName, len(name))
+	}
+	c := &CoordClient{addr: addr, name: name, cfg: cfg.withDefaults(), quit: make(chan struct{})}
+	err := c.connect()
+	c.wg.Add(1)
+	go c.maintain()
+	return c, err
+}
+
+// Name returns the worker name announced to the coordinator.
+func (c *CoordClient) Name() string { return c.name }
+
+// Connected reports whether a coordinator connection is currently up.
+func (c *CoordClient) Connected() bool { return c.connected.Load() }
+
+// Degraded reports whether the worker is currently shedding on local
+// capacity only, i.e. holds no grant fresher than the lease.
+func (c *CoordClient) Degraded() bool {
+	_, ok := c.Grant()
+	return !ok
+}
+
+// Reconnects returns how many times the background loop re-established
+// the connection after a loss (or an initially unreachable coordinator).
+func (c *CoordClient) Reconnects() int64 { return c.reconnects.Load() }
+
+func (c *CoordClient) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	hello := appendHelloFrame(nil, c.name, c.cfg.MinShare)
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.DialTimeout))
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	c.connected.Store(true)
+	return nil
+}
+
+func (c *CoordClient) current() net.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+func (c *CoordClient) drop(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		c.connected.Store(false)
+	}
+	c.mu.Unlock()
+}
+
+func (c *CoordClient) maintain() {
+	defer c.wg.Done()
+	backoff := c.cfg.RetryMin
+	for !c.closed.Load() {
+		conn := c.current()
+		if conn == nil {
+			select {
+			case <-c.quit:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > c.cfg.RetryMax {
+				backoff = c.cfg.RetryMax
+			}
+			if c.connect() == nil {
+				c.reconnects.Add(1)
+				backoff = c.cfg.RetryMin
+			}
+			continue
+		}
+		c.readGrants(conn) // blocks until the connection dies
+		c.drop(conn)
+	}
+}
+
+// readGrants drains grant frames from conn into the leased local copy.
+func (c *CoordClient) readGrants(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 256)
+	var buf []byte
+	for {
+		frame, err := readCoordFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = frame
+		if len(frame) >= 1 && frame[0] == coordMsgGrant {
+			if g, ok := decodeGrant(frame); ok {
+				g.Node = c.name
+				c.mu.Lock()
+				c.grant = g
+				c.grantAt = time.Now()
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Report sends a demand report; while disconnected it returns
+// ErrCoordinatorUnreachable and the caller proceeds on local capacity.
+func (c *CoordClient) Report(r DemandReport) error {
+	c.mu.Lock()
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		return ErrCoordinatorUnreachable
+	}
+	c.wbuf = appendReportFrame(c.wbuf[:0], r)
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.DialTimeout))
+	_, err := conn.Write(c.wbuf)
+	conn.SetWriteDeadline(time.Time{})
+	c.mu.Unlock()
+	if err != nil {
+		c.drop(conn) // the maintain loop redials and re-joins
+	}
+	return err
+}
+
+// Grant returns the latest pushed grant while it is lease-fresh.
+func (c *CoordClient) Grant() (BudgetGrant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.grantAt.IsZero() || time.Since(c.grantAt) > c.cfg.Lease {
+		return BudgetGrant{}, false
+	}
+	return c.grant, true
+}
+
+// Close stops the background loop and closes any live connection.
+func (c *CoordClient) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.quit)
+	if conn := c.current(); conn != nil {
+		c.drop(conn)
+	}
+	c.wg.Wait()
+	return nil
+}
