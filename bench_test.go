@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/pkt"
@@ -170,6 +171,56 @@ func BenchmarkMicroQuerySetOnBatch(b *testing.B) {
 			q.Process(&batch, 1)
 		}
 	}
+}
+
+func BenchmarkMicroChangeDetector(b *testing.B) {
+	// One armed detector observation: residual tests plus the windowed
+	// feature-distribution distance. The detector runs on the bin path
+	// of every predictive step when Config.ChangeDetection is on, so it
+	// must stay allocation-free in steady state — asserted here, not
+	// just reported.
+	g := benchBatch(false)
+	ext := features.NewExtractor(1)
+	ext.StartInterval()
+	batch, _ := g.NextBatch()
+	fv := ext.Extract(&batch)
+	det := detect.New(detect.Config{}, features.NumFeatures)
+	// Prime past warmup so the residual tests are armed and both
+	// distance windows are full.
+	for i := 0; i < 64; i++ {
+		det.Observe(fv, 0.01)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { det.Observe(fv, 0.01) }); allocs != 0 {
+		b.Fatalf("armed Observe allocates %v/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Observe(fv, 0.01)
+	}
+}
+
+func BenchmarkMicroMonitorBinChangeDetect(b *testing.B) {
+	// BenchmarkMicroMonitorBin with the drift detector enabled; the
+	// delta between the two prices the full detectChange stage per bin
+	// (feature snapshot, residual tests, distance windows).
+	const window = 100
+	src := NewGenerator(TraceConfig{Seed: 1, Duration: time.Hour, PacketsPerSec: 25000, Payload: true})
+	batches := nextBatches(src, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bins, pkts := 0, 0
+	for bins < b.N {
+		res := NewMonitor(MonitorConfig{
+			Scheme: Predictive, Capacity: 3e8, Strategy: MMFSPkt(), Seed: 1,
+			ChangeDetection: true,
+		}, StandardQueries(QueryConfig{})).Run(trace.NewMemorySource(batches[:min(b.N-bins, window)], src.TimeBin()))
+		bins += len(res.Bins)
+		for i := range res.Bins {
+			pkts += res.Bins[i].WirePkts
+		}
+	}
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
 }
 
 func BenchmarkMicroMonitorBin(b *testing.B) {

@@ -188,10 +188,11 @@ func runWorker(ctx context.Context, mkQs func() []loadshed.Query, o workerOpts) 
 	}
 
 	cfg := loadshed.Config{
-		Capacity:       capacity,
-		Seed:           o.serve.seed + 2,
-		CustomShedding: o.serve.customOn,
-		Workers:        o.serve.workers,
+		Capacity:        capacity,
+		Seed:            o.serve.seed + 2,
+		CustomShedding:  o.serve.customOn,
+		ChangeDetection: o.serve.detectOn,
+		Workers:         o.serve.workers,
 	}
 	cfg.Scheme, err = loadshed.ParseScheme(o.serve.scheme)
 	die(err)

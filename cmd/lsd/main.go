@@ -72,6 +72,7 @@ func main() {
 		strategy  = flag.String("strategy", "mmfs_pkt", "equal | eq_srates | mmfs_cpu | mmfs_pkt (predictive only)")
 		full      = flag.Bool("full", false, "run all ten queries instead of the standard seven")
 		customOn  = flag.Bool("custom", true, "enable custom load shedding (Chapter 6)")
+		detectOn  = flag.Bool("detect", false, "online drift detection + adaptive MLR refit (predictive scheme only)")
 		workers   = flag.Int("workers", 0, "query execution worker pool size (0 = auto: all cores single-link, inline per shard with -shards)")
 		shards    = flag.Int("shards", 1, "split the trace across N links and run a Cluster")
 		shardPol  = flag.String("shard-policy", "mmfs_cpu", "cross-shard budget policy: static | equal | eq_srates | mmfs_cpu | mmfs_pkt")
@@ -152,6 +153,7 @@ func main() {
 				scheme:   *scheme,
 				strategy: *strategy,
 				customOn: *customOn,
+				detectOn: *detectOn,
 				workers:  *workers,
 			},
 		})
@@ -171,6 +173,7 @@ func main() {
 			scheme:   *scheme,
 			strategy: *strategy,
 			customOn: *customOn,
+			detectOn: *detectOn,
 			workers:  *workers,
 		})
 		return
@@ -180,7 +183,7 @@ func main() {
 		if *shards > 1 {
 			die(fmt.Errorf("-stream does not support -shards: splitting by flow hash materializes the whole trace, which is what -stream exists to avoid (use the Cluster.Stream API with per-link sources instead)"))
 		}
-		runStream(ctx, mkQs, *traceFile, *preset, *seed, *dur, *scale, *maxBins, *report, *overload, *scheme, *strategy, *customOn, *workers)
+		runStream(ctx, mkQs, *traceFile, *preset, *seed, *dur, *scale, *maxBins, *report, *overload, *scheme, *strategy, *customOn, *detectOn, *workers)
 		return
 	}
 
@@ -199,10 +202,11 @@ func main() {
 		demand, ovh, capacity, *overload)
 
 	cfg := loadshed.Config{
-		Capacity:       capacity,
-		Seed:           *seed + 2,
-		CustomShedding: *customOn,
-		Workers:        *workers,
+		Capacity:        capacity,
+		Seed:            *seed + 2,
+		CustomShedding:  *customOn,
+		ChangeDetection: *detectOn,
+		Workers:         *workers,
 	}
 	cfg.Scheme, err = loadshed.ParseScheme(*scheme)
 	die(err)
@@ -254,7 +258,7 @@ func main() {
 // that prints a report every reportEvery of trace time. No lossless
 // reference run is possible online, so the accuracy section is replaced
 // by the rolling unsampled-fraction proxy.
-func runStream(ctx context.Context, mkQs func() []loadshed.Query, traceFile, preset string, seed uint64, dur time.Duration, scale float64, maxBins int, reportEvery time.Duration, overload float64, scheme, strategy string, customOn bool, workers int) {
+func runStream(ctx context.Context, mkQs func() []loadshed.Query, traceFile, preset string, seed uint64, dur time.Duration, scale float64, maxBins int, reportEvery time.Duration, overload float64, scheme, strategy string, customOn, detectOn bool, workers int) {
 	openStream := func(bins int) (loadshed.Source, func(), error) {
 		if traceFile != "" {
 			f, err := loadshed.OpenTraceFile(traceFile)
@@ -288,10 +292,11 @@ func runStream(ctx context.Context, mkQs func() []loadshed.Query, traceFile, pre
 		demand, ovh, capacity, overload)
 
 	cfg := loadshed.Config{
-		Capacity:       capacity,
-		Seed:           seed + 2,
-		CustomShedding: customOn,
-		Workers:        workers,
+		Capacity:        capacity,
+		Seed:            seed + 2,
+		CustomShedding:  customOn,
+		ChangeDetection: detectOn,
+		Workers:         workers,
 	}
 	cfg.Scheme, err = loadshed.ParseScheme(scheme)
 	die(err)

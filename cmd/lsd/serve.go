@@ -34,6 +34,7 @@ type serveOpts struct {
 	scheme   string
 	strategy string
 	customOn bool
+	detectOn bool
 	workers  int
 }
 
@@ -142,10 +143,11 @@ func runServe(ctx context.Context, mkQs func() []loadshed.Query, o serveOpts) {
 	}
 
 	cfg := loadshed.Config{
-		Capacity:       capacity,
-		Seed:           o.seed + 2,
-		CustomShedding: o.customOn,
-		Workers:        o.workers,
+		Capacity:        capacity,
+		Seed:            o.seed + 2,
+		CustomShedding:  o.customOn,
+		ChangeDetection: o.detectOn,
+		Workers:         o.workers,
 	}
 	cfg.Scheme, err = loadshed.ParseScheme(o.scheme)
 	die(err)

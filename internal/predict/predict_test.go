@@ -368,3 +368,224 @@ func TestMLRFitZeroAllocSteadyState(t *testing.T) {
 		t.Fatal("warm MLR selected no features; the guard exercised the cold path only")
 	}
 }
+
+func TestHistoryTruncateKeepsNewest(t *testing.T) {
+	h := NewHistory(5)
+	for i := 0; i < 7; i++ { // costs 2..6 survive the ring
+		h.Add(synth(map[int]float64{0: float64(i)}), float64(i))
+	}
+	h.Truncate(2)
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d after Truncate(2), want 2", h.Len())
+	}
+	costs := h.Costs()
+	if costs[0] != 5 || costs[1] != 6 {
+		t.Fatalf("kept costs %v, want [5 6] (newest, oldest-first)", costs)
+	}
+	if got := h.Column(0); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("kept features %v, want [5 6]", got)
+	}
+	// The ring refills in place after a truncation.
+	for i := 10; i < 14; i++ {
+		h.Add(synth(map[int]float64{0: float64(i)}), float64(i))
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d after refill, want 5", h.Len())
+	}
+	sum := 0.0
+	for _, c := range h.Costs() {
+		sum += c
+	}
+	if sum != 6+10+11+12+13 {
+		t.Fatalf("refilled ring holds %v", h.Costs())
+	}
+	h.Truncate(-1)
+	if h.Len() != 0 {
+		t.Fatalf("Truncate(-1) left %d observations", h.Len())
+	}
+}
+
+func TestHistoryDiscountOlder(t *testing.T) {
+	h := NewHistory(4)
+	if h.Weighted() {
+		t.Fatal("fresh history claims weights")
+	}
+	for i := 0; i < 4; i++ {
+		h.Add(synth(map[int]float64{0: float64(i)}), float64(i))
+	}
+	h.DiscountOlder(2, 0.25)
+	if !h.Weighted() {
+		t.Fatal("discounted history claims unweighted")
+	}
+	w := h.WeightsInto(nil)
+	// Slot order == insertion order here (no wrap): 0,1 discounted.
+	want := []float64{0.25, 0.25, 1, 1}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("weights = %v, want %v", w, want)
+		}
+	}
+	// Compounding.
+	h.DiscountOlder(3, 0.5)
+	if got := h.WeightsInto(nil)[0]; got != 0.125 {
+		t.Fatalf("compounded weight = %v, want 0.125", got)
+	}
+	// Overwriting a discounted slot resets its weight.
+	for i := 0; i < 4; i++ {
+		h.Add(synth(map[int]float64{0: 9}), 9)
+	}
+	if h.Weighted() {
+		t.Fatalf("weights after full overwrite: %v", h.WeightsInto(nil))
+	}
+}
+
+func TestHistoryStateCarriesWeights(t *testing.T) {
+	h := NewHistory(4)
+	for i := 0; i < 6; i++ {
+		h.Add(synth(map[int]float64{0: float64(i)}), float64(i))
+	}
+	h.DiscountOlder(1, 0.1)
+	st := h.State()
+	if st.Weights == nil {
+		t.Fatal("state dropped the weights")
+	}
+	h2 := NewHistory(4)
+	if err := h2.SetState(st); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	if !h2.Weighted() {
+		t.Fatal("restored history claims unweighted")
+	}
+	a, b := h.WeightsInto(nil), h2.WeightsInto(nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored weights %v != %v", b, a)
+		}
+	}
+	// Unweighted states restore as unweighted, including pre-weights
+	// snapshots where gob leaves Weights nil.
+	h3 := NewHistory(4)
+	st.Weights = nil
+	if err := h3.SetState(st); err != nil {
+		t.Fatalf("SetState (nil weights): %v", err)
+	}
+	if h3.Weighted() {
+		t.Fatal("nil-weight state restored as weighted")
+	}
+	st.Weights = []float64{1, 1}
+	if err := h3.SetState(st); err == nil {
+		t.Fatal("SetState accepted a weight-length mismatch")
+	}
+}
+
+// TestMLRNotifyChangeAdaptsFaster pins the point of the whole hook: after
+// a coefficient change, a notified model re-converges on the new regime
+// immediately, while the plain window needs the old regime to slide out.
+func TestMLRNotifyChangeAdaptsFaster(t *testing.T) {
+	run := func(notify bool) []float64 {
+		m := NewMLR(DefaultHistory, DefaultThreshold)
+		rng := hash.NewXorShift(11)
+		f := func() features.Vector {
+			return synth(map[int]float64{features.IdxPackets: 1000 + 500*rng.Float64()})
+		}
+		for i := 0; i < DefaultHistory; i++ {
+			v := f()
+			m.Observe(v, 10*v[features.IdxPackets])
+		}
+		// A handful of post-change observations land before any real
+		// detector would fire; NotifyChange keeps exactly those.
+		for i := 0; i < 8; i++ {
+			v := f()
+			m.Observe(v, 25*v[features.IdxPackets])
+		}
+		if notify {
+			m.NotifyChange()
+		}
+		errs := make([]float64, 12)
+		for i := range errs {
+			v := f()
+			want := 25 * v[features.IdxPackets] // new regime
+			errs[i] = stats.RelErr(m.Predict(v), want)
+			m.Observe(v, want)
+		}
+		return errs
+	}
+	off := run(false)
+	on := run(true)
+	// A few bins in, the notified model must be locked on while the
+	// plain window is still dominated by stale observations.
+	if on[8] > 0.05 {
+		t.Fatalf("notified model still off at bin 8: relerr %v (%v)", on[8], on)
+	}
+	if off[8] < 3*on[8] {
+		t.Fatalf("plain window recovered suspiciously fast: off %v vs on %v", off[8], on[8])
+	}
+}
+
+// TestMLRUnweightedPathUnchanged pins the bit-identity contract: a model
+// whose history never saw a discount predicts exactly like one built
+// before weights existed — and a fully overwritten (hence unweighted
+// again) history returns to that exact path.
+func TestMLRUnweightedPathUnchanged(t *testing.T) {
+	mk := func() (*MLR, *hash.XorShift) {
+		return NewMLR(30, DefaultThreshold), hash.NewXorShift(13)
+	}
+	feed := func(m *MLR, rng *hash.XorShift, n int) []float64 {
+		out := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := synth(map[int]float64{
+				features.IdxPackets: 1000 + 500*rng.Float64(),
+				features.IdxBytes:   40000 + 9000*rng.Float64(),
+			})
+			out = append(out, m.Predict(v))
+			m.Observe(v, 3*v[features.IdxPackets]+0.1*v[features.IdxBytes])
+		}
+		return out
+	}
+	a, rngA := mk()
+	b, rngB := mk()
+	pa := feed(a, rngA, 40)
+	// b takes a discount + full overwrite detour before the same tail.
+	b.NotifyChange()
+	pb := feed(b, rngB, 40)
+	for i := 31; i < 40; i++ { // history fully overwritten after 30 adds
+		if pa[i] != pb[i] {
+			t.Fatalf("prediction %d differs after weights washed out: %v != %v", i, pa[i], pb[i])
+		}
+	}
+	if b.History().Weighted() {
+		t.Fatal("overwritten history still weighted")
+	}
+}
+
+// The weighted refit must be as allocation-free as the plain one once
+// its sqrt-weight scratch exists.
+func TestMLRWeightedFitZeroAllocSteadyState(t *testing.T) {
+	m := NewMLR(DefaultHistory, DefaultThreshold)
+	f := make(features.Vector, features.NumFeatures)
+	rng := hash.NewXorShift(17)
+	fill := func() {
+		for j := range f {
+			f[j] = rng.Float64() * 1000
+		}
+	}
+	for i := 0; i < DefaultHistory+8; i++ {
+		fill()
+		m.Observe(f, 5000+2*f[features.IdxPackets])
+		m.Predict(f)
+	}
+	m.NotifyChange() // lazily allocates weights + sqrt scratch
+	fill()
+	m.Predict(f)
+	if !m.History().Weighted() {
+		t.Fatal("NotifyChange left the history unweighted")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		fill()
+		m.Predict(f)
+		m.Observe(f, 5000+2*f[features.IdxPackets])
+	})
+	if allocs != 0 {
+		t.Fatalf("weighted MLR fit steady-state allocations = %v, want 0", allocs)
+	}
+}

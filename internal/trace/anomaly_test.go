@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+// driftPkts returns the injected drift packets per half-second bucket.
+func driftBuckets(t *testing.T, cfg Config, match func(pkt.Packet) bool) []int {
+	t.Helper()
+	g := NewGenerator(cfg)
+	buckets := make([]int, cfg.Duration/(500*time.Millisecond))
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if match(p) {
+				i := int(time.Duration(p.Ts) / (500 * time.Millisecond))
+				if i >= 0 && i < len(buckets) {
+					buckets[i]++
+				}
+			}
+		}
+	}
+	return buckets
+}
+
+func TestGradualDriftRampsAndPersists(t *testing.T) {
+	// The drift mimics base traffic by design, so it is identified by
+	// volume: a tiny base rate makes the totals tell the story.
+	cfg := Config{Seed: 21, Duration: 6 * time.Second, PacketsPerSec: 200, Payload: true}
+	cfg.Anomalies = []Anomaly{NewGradualDrift(time.Second, 5*time.Second, 8000)}
+	buckets := driftBuckets(t, cfg, func(pkt.Packet) bool { return true })
+	// Only the ~200 pps base before Start.
+	if buckets[0] > 500 || buckets[1] > 500 {
+		t.Fatalf("traffic before drift start: %v", buckets)
+	}
+	// Monotone-ish ramp over the first quarter (1s..2.25s), then a
+	// sustained plateau near PPS/2 per half-second bucket to the end.
+	if buckets[2] >= buckets[4] {
+		t.Fatalf("no ramp: bucket2=%d bucket4=%d (%v)", buckets[2], buckets[4], buckets)
+	}
+	for i := 5; i < len(buckets); i++ {
+		if buckets[i] < 3400 {
+			t.Fatalf("plateau bucket %d = %d, want ~4100 (%v)", i, buckets[i], buckets)
+		}
+	}
+	// The regime change itself: drift flows blend into the base address
+	// pools and port mix but never carry payload, so on a payload base
+	// the payload-free data packets are the drift — and they dominate.
+	g := NewGenerator(cfg)
+	bare, carrying := 0, 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.Size <= 100 {
+				continue
+			}
+			if len(p.Payload) != 0 {
+				carrying++
+				continue
+			}
+			bare++
+			if p.SrcIP>>24 != 10 || p.DstIP>>16 != 147<<8|83 {
+				t.Fatalf("drift packet outside the base address pools: %x -> %x", p.SrcIP, p.DstIP)
+			}
+			if p.DstPort != 80 && p.DstPort != 443 && p.DstPort != 8080 {
+				t.Fatalf("drift packet outside the base web-port mix: %d", p.DstPort)
+			}
+		}
+	}
+	if bare < 5*carrying || bare < 10000 {
+		t.Fatalf("payload-free drift should dominate data packets: bare=%d carrying=%d", bare, carrying)
+	}
+}
+
+func TestFlashCrowdSkewsOneDestination(t *testing.T) {
+	target := pkt.IPv4(147, 83, 9, 9)
+	cfg := Config{Seed: 22, Duration: 6 * time.Second, PacketsPerSec: 2000}
+	cfg.Anomalies = []Anomaly{NewFlashCrowd(time.Second, 5*time.Second, 10000, target)}
+	g := NewGenerator(cfg)
+	srcs := map[uint32]bool{}
+	hits := 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.DstIP == target {
+				hits++
+				srcs[p.SrcIP] = true
+			}
+		}
+	}
+	if hits < 10000 {
+		t.Fatalf("flash-crowd requests = %d, want many", hits)
+	}
+	if len(srcs) < 1000 {
+		t.Fatalf("flash-crowd client diversity = %d sources, want >= 1000", len(srcs))
+	}
+	// Rise then decay: the peak bucket sits early, the tail is quiet.
+	buckets := driftBuckets(t, cfg, func(p pkt.Packet) bool { return p.DstIP == target })
+	peak, peakAt := 0, 0
+	for i, n := range buckets {
+		if n > peak {
+			peak, peakAt = n, i
+		}
+	}
+	if peakAt > 5 {
+		t.Fatalf("peak bucket at %d, want early rise (%v)", peakAt, buckets)
+	}
+	last := buckets[len(buckets)-1]
+	if last*4 > peak {
+		t.Fatalf("no decay: last=%d peak=%d (%v)", last, peak, buckets)
+	}
+}
+
+func TestTopologyShiftUsesFreshAddressSpace(t *testing.T) {
+	cfg := Config{Seed: 23, Duration: 4 * time.Second, PacketsPerSec: 2000}
+	cfg.Anomalies = []Anomaly{NewTopologyShift(time.Second, 3*time.Second, 6000)}
+	g := NewGenerator(cfg)
+	srcs := map[uint32]bool{}
+	dsts := map[uint32]bool{}
+	shifted, before := 0, 0
+	for {
+		b, ok := g.NextBatch()
+		if !ok {
+			break
+		}
+		for _, p := range b.Pkts {
+			if p.SrcIP>>16 == 198<<8|18 {
+				if time.Duration(p.Ts) < time.Second {
+					before++
+				}
+				shifted++
+				srcs[p.SrcIP] = true
+				dsts[p.DstIP] = true
+			}
+		}
+	}
+	if before > 0 {
+		t.Fatalf("%d shifted packets before Start", before)
+	}
+	if shifted < 12000 {
+		t.Fatalf("shifted packets = %d, want ~18000", shifted)
+	}
+	if len(srcs) < 5000 || len(dsts) < 500 {
+		t.Fatalf("address diversity src=%d dst=%d, want a re-hashed space", len(srcs), len(dsts))
+	}
+	for d := range dsts {
+		if d>>16 != 198<<8|19 {
+			t.Fatalf("shifted dst outside 198.19/16: %x", d)
+		}
+	}
+}
+
+func TestNewAnomaliesDeterministic(t *testing.T) {
+	mk := func() Config {
+		cfg := shortCfg(24)
+		cfg.Anomalies = []Anomaly{
+			NewGradualDrift(0, 3*time.Second, 3000),
+			NewFlashCrowd(time.Second, 2*time.Second, 3000, pkt.IPv4(147, 83, 9, 9)),
+			NewTopologyShift(500*time.Millisecond, 2*time.Second, 3000),
+		}
+		return cfg
+	}
+	a, b := NewGenerator(mk()), NewGenerator(mk())
+	for {
+		ba, oka := a.NextBatch()
+		bb, okb := b.NextBatch()
+		if oka != okb {
+			t.Fatal("batch counts differ")
+		}
+		if !oka {
+			break
+		}
+		if len(ba.Pkts) != len(bb.Pkts) {
+			t.Fatalf("batch sizes differ: %d vs %d", len(ba.Pkts), len(bb.Pkts))
+		}
+		for i := range ba.Pkts {
+			if !reflect.DeepEqual(ba.Pkts[i], bb.Pkts[i]) {
+				t.Fatalf("packet %d differs: %+v vs %+v", i, ba.Pkts[i], bb.Pkts[i])
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/custom"
+	"repro/internal/detect"
 	"repro/internal/pkt"
 	"repro/internal/queries"
 	"repro/internal/sched"
@@ -43,6 +44,8 @@ type (
 	Anomaly = trace.Anomaly
 	// ShedderMode is a custom-shedding query's enforcement mode (§6.1.1).
 	ShedderMode = custom.Mode
+	// DetectConfig tunes the online drift detector (Config.Detect).
+	DetectConfig = detect.Config
 )
 
 // Strategies.
@@ -185,6 +188,14 @@ var (
 	NewSYNFlood = trace.NewSYNFlood
 	// NewOnOffDDoS builds the 1 s on / 1 s off spoofed DDoS of §3.4.3.
 	NewOnOffDDoS = trace.NewOnOffDDoS
+	// NewGradualDrift builds a slow traffic-mix drift that shifts the
+	// relation between header features and query cost (no step change).
+	NewGradualDrift = trace.NewGradualDrift
+	// NewFlashCrowd builds a legitimate-traffic surge onto one server.
+	NewFlashCrowd = trace.NewFlashCrowd
+	// NewTopologyShift builds a routing-style shift onto fresh address
+	// space (RFC 2544/benchmark prefixes).
+	NewTopologyShift = trace.NewTopologyShift
 )
 
 // Multi-link helpers (see cluster.go for the Cluster itself).

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/custom"
+	"repro/internal/detect"
 	"repro/internal/features"
 	"repro/internal/hash"
 	"repro/internal/pkt"
@@ -142,6 +143,26 @@ type Config struct {
 	// harnesses use it to sample internal state (e.g. the custom
 	// shedding audit pairs of Figure 6.3).
 	Probe func(bin int)
+
+	// ChangeDetection enables the online drift detector (internal/
+	// detect): every bin it observes the extracted feature vector and
+	// the aggregate prediction residual, and on a change verdict every
+	// MLR predictor discounts its pre-change history (NotifyChange) so
+	// the model refits on the new regime instead of averaging both.
+	// Predictive scheme only. Default off — and when off, runs are
+	// bit-identical to an engine built without the detector at all
+	// (pinned by TestChangeDetectionOffBitIdentical).
+	ChangeDetection bool
+	// Detect tunes the detector; zero fields select the defaults
+	// documented in the detect package.
+	Detect detect.Config
+	// ChangeDiscount is the weight NotifyChange leaves on pre-change
+	// history rows: 0 selects predict.DefaultChangeDiscount, a
+	// negative value truncates the old regime outright. Truncation is
+	// the stronger medicine — FCBF selects features on raw columns, so
+	// down-weighted rows still steer selection even though the fit
+	// ignores them; dropping them re-selects purely on the new regime.
+	ChangeDiscount float64
 }
 
 // Arrival schedules a query to join a running system.
@@ -211,6 +232,12 @@ type BinStats struct {
 	QueryPred  []float64 // per-query predictions at full rate
 
 	BufferBins float64 // buffer occupancy, in bins of delay
+
+	// Change detection (zero unless Config.ChangeDetection): the
+	// detector's combined score for this bin (1.0 = firing threshold)
+	// and whether a change verdict fired here.
+	ChangeScore float64
+	Change      bool
 }
 
 // IntervalResults records every query's flushed result for one
@@ -267,6 +294,10 @@ type System struct {
 	shedSamp  *sampling.PacketSampler
 	noise     *hash.XorShift
 	manager   *custom.Manager
+	// det is the online change detector, non-nil only when
+	// Config.ChangeDetection is set under the Predictive scheme; the
+	// detect stage (stages.go) feeds it between execute and feedback.
+	det *detect.Detector
 
 	interval      time.Duration
 	reactiveRate  float64
@@ -355,6 +386,9 @@ func New(cfg Config, qs []queries.Query) *System {
 	}
 	if cfg.CustomShedding {
 		s.manager = custom.NewManager(cfg.CustomPolicy)
+	}
+	if cfg.ChangeDetection && cfg.Scheme == Predictive {
+		s.det = detect.New(cfg.Detect, features.NumFeatures)
 	}
 	for _, q := range qs {
 		s.addQuery(q)
@@ -508,6 +542,7 @@ func (s *System) addQuery(q queries.Query) {
 		rq.pred = predict.NewEWMA(predict.DefaultEWMAAlpha)
 	default:
 		m := predict.NewMLR(s.cfg.HistoryLen, s.cfg.FCBFThreshold)
+		m.ChangeDiscount = s.cfg.ChangeDiscount
 		rq.pred = m
 		rq.mlr = m
 	}
@@ -537,6 +572,10 @@ func applyRTTCap(g *core.Governor, bufferBins, capacity float64) {
 
 // Governor exposes the controller, mainly for tests and experiments.
 func (s *System) Governor() *core.Governor { return s.gov }
+
+// ChangeDetector exposes the online change detector, nil unless
+// Config.ChangeDetection is enabled under the Predictive scheme.
+func (s *System) ChangeDetector() *detect.Detector { return s.det }
 
 // SetCapacity rebudgets the system mid-run: the Cluster coordinator
 // calls it every bin to move cycles between shards. Unlike touching the

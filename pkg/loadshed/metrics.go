@@ -60,6 +60,11 @@ func (s RollingSnapshot) WritePrometheus(w io.Writer) error {
 	gauge("lsd_window_mean_shed_cycles", "Mean sampling+re-extraction cycles per bin over the window.", s.MeanShed)
 	gauge("lsd_window_budget_utilization", "(used+overhead+shed)/capacity averaged over finite-capacity bins of the window.", s.MeanUtil)
 
+	counter("lsd_change_events_total", "Traffic-change verdicts raised by the drift detector since start.", float64(s.ChangesTotal))
+	gauge("lsd_change_last_bin", "Bin index of the latest change verdict (-1 when none).", float64(s.LastChangeBin))
+	gauge("lsd_change_window_events", "Change verdicts inside the window.", float64(s.WindowChanges))
+	gauge("lsd_change_window_mean_score", "Mean detector score over the window (1 = firing threshold).", s.MeanChangeScore)
+
 	if len(s.Queries) > 0 {
 		fmt.Fprintf(&b, "# HELP lsd_query_rate Mean applied sampling rate per query over the window.\n# TYPE lsd_query_rate gauge\n")
 		for i, q := range s.Queries {

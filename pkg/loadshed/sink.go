@@ -180,6 +180,8 @@ type rollingBin struct {
 	used, overhead, shed   float64
 	capacity               float64
 	globalRate, bufferBins float64
+	changeScore            float64
+	change                 bool
 	rates                  []float64 // per query; reused in place across evictions
 }
 
@@ -202,6 +204,8 @@ type RollingStats struct {
 	bins, intervals               int
 	wirePkts, dropPkts, admitPkts int64
 	exportCycles                  float64
+	changes                       int64
+	lastChangeBin                 int64 // lifetime bin index of the latest change verdict, -1 when none
 }
 
 // NewRollingStats returns a rolling aggregator over the last window
@@ -211,7 +215,7 @@ func NewRollingStats(window int) *RollingStats {
 	if window <= 0 {
 		window = 600
 	}
-	return &RollingStats{window: window, ring: make([]rollingBin, window)}
+	return &RollingStats{window: window, ring: make([]rollingBin, window), lastChangeBin: -1}
 }
 
 // OnQuery implements Sink.
@@ -236,10 +240,15 @@ func (r *RollingStats) OnBin(b *BinStats) {
 	slot.used, slot.overhead, slot.shed = b.Used, b.Overhead, b.Shed
 	slot.capacity = b.Capacity
 	slot.globalRate, slot.bufferBins = b.GlobalRate, b.BufferBins
+	slot.changeScore, slot.change = b.ChangeScore, b.Change
 	slot.rates = append(slot.rates[:0], b.Rates...)
 	r.head = (r.head + 1) % r.window
 	if r.filled < r.window {
 		r.filled++
+	}
+	if b.Change {
+		r.changes++
+		r.lastChangeBin = int64(r.bins)
 	}
 	r.bins++
 	r.wirePkts += int64(b.WirePkts)
@@ -296,6 +305,13 @@ type RollingSnapshot struct {
 	// MeanUtil is (used+overhead+shed)/capacity averaged over the
 	// finite-capacity bins of the window; 0 when capacity is unlimited.
 	MeanUtil float64
+
+	// Change detection (all zero / -1 unless the engine runs with
+	// Config.ChangeDetection).
+	ChangesTotal    int64   // lifetime change verdicts
+	LastChangeBin   int64   // lifetime bin index of the latest verdict, -1 when none
+	WindowChanges   int     // verdicts inside the window
+	MeanChangeScore float64 // detector score averaged over the window
 }
 
 // Snapshot summarizes the stream so far. It scans the window (not the
@@ -309,8 +325,10 @@ func (r *RollingStats) Snapshot() RollingSnapshot {
 		WirePkts:     r.wirePkts,
 		DropPkts:     r.dropPkts,
 		AdmitPkts:    r.admitPkts,
-		ExportCycles: r.exportCycles,
-		WindowBins:   r.filled,
+		ExportCycles:  r.exportCycles,
+		WindowBins:    r.filled,
+		ChangesTotal:  r.changes,
+		LastChangeBin: r.lastChangeBin,
 	}
 	if r.filled == 0 {
 		return s
@@ -335,6 +353,10 @@ func (r *RollingStats) Snapshot() RollingSnapshot {
 		s.MeanUsed += b.used
 		s.MeanOverhead += b.overhead
 		s.MeanShed += b.shed
+		s.MeanChangeScore += b.changeScore
+		if b.change {
+			s.WindowChanges++
+		}
 		if !math.IsInf(b.capacity, 1) && b.capacity > 0 {
 			utilSum += (b.used + b.overhead + b.shed) / b.capacity
 			utilBins++
@@ -357,6 +379,7 @@ func (r *RollingStats) Snapshot() RollingSnapshot {
 	s.MeanUsed /= n
 	s.MeanOverhead /= n
 	s.MeanShed /= n
+	s.MeanChangeScore /= n
 	if utilBins > 0 {
 		s.MeanUtil = utilSum / float64(utilBins)
 	}

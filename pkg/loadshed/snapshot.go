@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/predict"
 )
 
@@ -68,6 +69,13 @@ type SystemSnapshot struct {
 	ReactiveRate  float64
 	ReactiveDelay float64
 	LastConsumed  float64
+
+	// Detect is the drift detector's state, non-nil exactly when the
+	// snapshotted system ran with Config.ChangeDetection under the
+	// Predictive scheme. The predictors' discounted-history weights
+	// travel inside each query's Hist, so a restored mid-drift system
+	// resumes bit-identically (TestSnapshotCarriesDetectorState).
+	Detect *detect.State
 
 	Queries []QuerySnapshot
 }
@@ -115,6 +123,10 @@ func (s *System) Snapshot() (*SystemSnapshot, error) {
 		ReactiveDelay: s.reactiveDelay,
 		LastConsumed:  s.lastConsumed,
 	}
+	if s.det != nil {
+		st := s.det.State()
+		snap.Detect = &st
+	}
 	for _, rq := range s.qs {
 		if rq == nil {
 			continue // tombstoned by a mid-run removal; gone semantically
@@ -158,6 +170,10 @@ func (s *System) Restore(snap *SystemSnapshot) error {
 	}
 	if s.manager != nil {
 		return fmt.Errorf("loadshed: restore: custom shedding systems are not snapshottable")
+	}
+	if (snap.Detect != nil) != (s.det != nil) {
+		return fmt.Errorf("loadshed: restore: change detection is %v on the system but %v in the snapshot",
+			s.det != nil, snap.Detect != nil)
 	}
 	live := 0
 	for _, rq := range s.qs {
@@ -213,5 +229,10 @@ func (s *System) Restore(snap *SystemSnapshot) error {
 	s.reactiveRate = snap.ReactiveRate
 	s.reactiveDelay = snap.ReactiveDelay
 	s.lastConsumed = snap.LastConsumed
+	if snap.Detect != nil {
+		if err := s.det.SetState(*snap.Detect); err != nil {
+			return fmt.Errorf("loadshed: restore: %w", err)
+		}
+	}
 	return nil
 }

@@ -154,6 +154,7 @@ func (s *System) step(bin int, b *pkt.Batch) BinStats {
 	s.extractPredict(bc)
 	s.decideShedding(bc)
 	s.execute(bc)
+	s.detectChange(bc)
 	s.feedback(bc)
 	return bc.Stats
 }
@@ -517,6 +518,33 @@ func (s *System) executeQuery(bc *BinContext, i int) {
 		}
 		if rq.shed != nil {
 			s.manager.Audit(rq.shed, measured, bc.Stats.QueryPred[i])
+		}
+	}
+}
+
+// detectChange feeds the online drift detector with this bin's feature
+// vector and aggregate prediction residual, and on a change verdict
+// tells every MLR predictor to discount its pre-change history. The
+// residual is a log-ratio so over- and under-prediction are symmetric
+// and the detector's thresholds are scale-free. Runs after execute so
+// Used/Alloc are final, and unlike feedback it also runs under
+// unlimited capacity — drift experiments measure raw accuracy without
+// a cycle budget. The detector's own cost (O(features) per bin) is
+// not charged to platform overhead; see DESIGN.md §13.
+func (s *System) detectChange(bc *BinContext) {
+	if s.det == nil || bc.fv == nil {
+		return
+	}
+	residual := math.Log((bc.Stats.Used + 1) / (bc.Stats.Alloc + 1))
+	v := s.det.Observe(bc.fv, residual)
+	bc.Stats.ChangeScore = v.Score
+	bc.Stats.Change = v.Change
+	if !v.Change {
+		return
+	}
+	for _, rq := range s.qs {
+		if rq != nil && rq.mlr != nil {
+			rq.mlr.NotifyChange()
 		}
 	}
 }
