@@ -1,0 +1,136 @@
+// adopt.go — the adoption half of worker failover: when the
+// coordinator decides an orphaned shard should live here (its worker
+// crashed, or an operator posted /cluster/migrate), it pushes the
+// shard's checkpoint over this worker's coordinator link. The offer
+// carries everything needed to take over: a spec to rebuild the System,
+// a snapshot to restore its state, and the bin to reposition the
+// traffic source at. Each adopted shard runs as its own Node with its
+// own coordinator connection under the dead shard's name, so budget
+// allocation sees the shard itself come back, not a bigger host.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/pkg/loadshed"
+)
+
+// adoptionState tracks the shards a worker runs on behalf of others —
+// the gauge/counter pair behind lsd_adopted_shards and
+// lsd_adoptions_total, plus the WaitGroup that keeps the worker process
+// alive until its adopted shards finish.
+type adoptionState struct {
+	wg     sync.WaitGroup
+	active atomic.Int64
+	total  atomic.Int64
+}
+
+func newAdoptionState() *adoptionState { return &adoptionState{} }
+
+// Active is the number of adopted shards currently running.
+func (a *adoptionState) Active() int64 { return a.active.Load() }
+
+// Total is the number of adoption offers ever accepted.
+func (a *adoptionState) Total() int64 { return a.total.Load() }
+
+// Wait blocks until every running adopted shard has finished.
+func (a *adoptionState) Wait() { a.wg.Wait() }
+
+// adoptionLoop accepts adoption offers from the worker's coordinator
+// link until ctx ends, running each adopted shard on its own goroutine.
+func adoptionLoop(ctx context.Context, client *loadshed.CoordClient, st *adoptionState, o workerOpts) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case offer := <-client.Adoptions():
+			st.wg.Add(1)
+			st.total.Add(1)
+			st.active.Add(1)
+			go func(offer loadshed.AdoptOffer) {
+				defer st.wg.Done()
+				defer st.active.Add(-1)
+				if err := runAdoptedShard(ctx, offer, o); err != nil {
+					fmt.Printf("adoption of %q failed: %v\n", offer.Shard, err)
+				}
+			}(offer)
+		}
+	}
+}
+
+// runAdoptedShard resumes one orphaned shard from its checkpoint:
+// rebuild the System from the spec, restore the snapshot, reopen the
+// shard's traffic source positioned at the checkpoint bin, and stream
+// under the shard's cluster name until the source ends, the shard is
+// drained onward, or the worker shuts down.
+func runAdoptedShard(ctx context.Context, offer loadshed.AdoptOffer, o workerOpts) error {
+	cp, err := loadshed.DecodeShardCheckpoint(bytes.NewReader(offer.Checkpoint))
+	if err != nil {
+		return err
+	}
+	sys, err := cp.Spec.NewSystem()
+	if err != nil {
+		return err
+	}
+	if err := sys.Restore(cp.Snap); err != nil {
+		return err
+	}
+
+	srcOpts := serveOpts{
+		preset: cp.Spec.Preset,
+		seed:   cp.Spec.TraceSeed,
+		dur:    cp.Spec.TraceDur,
+		scale:  cp.Spec.Scale,
+	}
+	src, closeSrc, desc, err := openIngest(cp.Spec.Ingest, srcOpts)
+	if err != nil {
+		return fmt.Errorf("reopen ingest %q: %w", cp.Spec.Ingest, err)
+	}
+	defer closeSrc()
+	// Deterministic sources (generator, tailed or replayed files) resume
+	// exactly at the checkpoint bin; a live socket has no past to skip
+	// and resumes best-effort from the live stream.
+	resumable := !strings.HasPrefix(cp.Spec.Ingest, "udp://") && !strings.HasPrefix(cp.Spec.Ingest, "unix://")
+	if resumable {
+		src = loadshed.ResumeSource(src, cp.Bin)
+	}
+
+	client, err := loadshed.DialCoordinator(o.coordAddr, cp.Node, loadshed.CoordClientConfig{
+		MinShare: cp.Spec.MinShare,
+		Lease:    o.lease,
+		Key:      o.key,
+	})
+	if client == nil {
+		return err
+	}
+	defer client.Close()
+
+	node := loadshed.NewNode(sys, client, loadshed.NodeConfig{
+		Name:            cp.Node,
+		MinShare:        cp.Spec.MinShare,
+		CheckpointEvery: o.ckptEvery,
+		Spec:            cp.Spec,
+		BinOffset:       cp.Bin,
+	})
+
+	unblock := context.AfterFunc(ctx, closeSrc)
+	defer unblock()
+
+	fmt.Printf("adopted shard %q from bin %d (ingest: %s)\n", cp.Node, cp.Bin, desc)
+	streamErr := node.StreamContext(ctx, src, loadshed.DiscardSink{})
+	closeSrc()
+	switch {
+	case node.Drained():
+		fmt.Printf("adopted shard %q drained onward\n", cp.Node)
+	case streamErr != nil:
+		fmt.Printf("adopted shard %q stopped on signal\n", cp.Node)
+	default:
+		fmt.Printf("adopted shard %q finished its trace\n", cp.Node)
+	}
+	return loadshed.SourceErr(src)
+}

@@ -27,6 +27,9 @@ type coordOpts struct {
 	capacity  float64 // total machine budget, cycles/bin
 	heartbeat time.Duration
 	lease     time.Duration
+	grace     time.Duration // partition-to-failover window (0 = 2x lease)
+	key       string        // pre-shared cluster key ("" = unauthenticated)
+	stateDir  string        // checkpoint spill directory ("" = memory only)
 }
 
 // runCoordinator serves the budget coordinator until a signal arrives.
@@ -41,20 +44,33 @@ func runCoordinator(ctx context.Context, o coordOpts) {
 	}
 
 	coord := loadshed.NewCoordinator(policy, o.capacity)
+	if o.stateDir != "" {
+		// Reload any spilled checkpoints before serving: shards that
+		// crashed with the previous coordinator come back as partitioned
+		// members whose state is immediately offerable.
+		die(coord.SetStateDir(o.stateDir))
+		fmt.Printf("state dir %s: %d checkpoint(s) reloaded\n", o.stateDir, coord.CheckpointsStored())
+	}
 	ln, err := net.Listen("tcp", o.listen)
 	die(err)
 	srv := loadshed.ServeCoordinator(ln, coord, loadshed.CoordServerConfig{
 		Heartbeat: o.heartbeat,
 		Lease:     o.lease,
+		Grace:     o.grace,
+		Key:       o.key,
 	})
-	fmt.Printf("coordinator on %s: policy %s, total capacity %.3g cycles/bin, heartbeat %v\n",
-		srv.Addr(), o.policy, o.capacity, o.heartbeat)
+	auth := "unauthenticated"
+	if o.key != "" {
+		auth = "PSK-authenticated"
+	}
+	fmt.Printf("coordinator on %s: policy %s, total capacity %.3g cycles/bin, heartbeat %v, %s\n",
+		srv.Addr(), o.policy, o.capacity, o.heartbeat, auth)
 
 	var admin *http.Server
 	if o.admin != "" {
 		aln, err := net.Listen("tcp", o.admin)
 		die(err)
-		admin = &http.Server{Handler: coordinatorMux(coord, o)}
+		admin = &http.Server{Handler: coordinatorMux(srv, o)}
 		go admin.Serve(aln)
 		fmt.Printf("admin plane on http://%s (healthz, metrics, cluster)\n", aln.Addr())
 	}
@@ -82,8 +98,10 @@ func runCoordinator(ctx context.Context, o coordOpts) {
 }
 
 // coordinatorMux is the coordinator's admin plane: health, per-node
-// budget/demand/partition gauges, and the /cluster membership listing.
-func coordinatorMux(coord *loadshed.Coordinator, o coordOpts) *http.ServeMux {
+// budget/demand/partition gauges, the /cluster membership listing, and
+// the /cluster/migrate verb that drains a shard onto another worker.
+func coordinatorMux(srv *loadshed.CoordServer, o coordOpts) *http.ServeMux {
+	coord := srv.Coordinator()
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -122,6 +140,20 @@ func coordinatorMux(coord *loadshed.Coordinator, o coordOpts) *http.ServeMux {
 		for _, n := range nodes {
 			fmt.Fprintf(w, "lsd_node_done{node=%q} %d\n", n.Name, b2i(n.Done))
 		}
+		fmt.Fprintln(w, "# HELP lsd_node_checkpoint_bin First unprocessed bin of the shard's retained checkpoint (-1 = none).")
+		fmt.Fprintln(w, "# TYPE lsd_node_checkpoint_bin gauge")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "lsd_node_checkpoint_bin{node=%q} %d\n", n.Name, n.CheckpointBin)
+		}
+		fmt.Fprintln(w, "# HELP lsd_cluster_checkpoints_total Shard checkpoints stored by the coordinator.")
+		fmt.Fprintln(w, "# TYPE lsd_cluster_checkpoints_total counter")
+		fmt.Fprintf(w, "lsd_cluster_checkpoints_total %d\n", coord.CheckpointsStored())
+		fmt.Fprintln(w, "# HELP lsd_cluster_failover_offers_total Adoption offers issued for crashed or migrating shards.")
+		fmt.Fprintln(w, "# TYPE lsd_cluster_failover_offers_total counter")
+		fmt.Fprintf(w, "lsd_cluster_failover_offers_total %d\n", coord.FailoverOffers())
+		fmt.Fprintln(w, "# HELP lsd_coord_auth_failures_total Connections rejected by pre-shared-key authentication.")
+		fmt.Fprintln(w, "# TYPE lsd_coord_auth_failures_total counter")
+		fmt.Fprintf(w, "lsd_coord_auth_failures_total %d\n", srv.AuthFailures())
 	})
 
 	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +168,30 @@ func coordinatorMux(coord *loadshed.Coordinator, o coordOpts) *http.ServeMux {
 			TotalCapacity: coord.Total(),
 			Heartbeat:     o.heartbeat.String(),
 			Nodes:         coord.Status(),
+		})
+	})
+
+	// POST /cluster/migrate?from=NODE&to=NODE drains the source shard at
+	// its next measurement-interval boundary and hands its final
+	// checkpoint to the target worker, which resumes it bit-identically.
+	// The handoff is asynchronous (drain, final checkpoint, directed
+	// offer, adoption), so success is 202 Accepted; watch /cluster for
+	// the shard moving.
+	mux.HandleFunc("POST /cluster/migrate", func(w http.ResponseWriter, r *http.Request) {
+		from, to := r.FormValue("from"), r.FormValue("to")
+		if from == "" || to == "" {
+			http.Error(w, "need from= and to= node names", http.StatusBadRequest)
+			return
+		}
+		if err := coord.Migrate(from, to); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "accepted", "from": from, "to": to,
+			"note": "source drains at its next interval boundary; target adopts the final checkpoint",
 		})
 	})
 
@@ -156,7 +212,39 @@ type workerOpts struct {
 	name      string
 	minShare  float64
 	lease     time.Duration
+	key       string        // pre-shared cluster key ("" = unauthenticated)
+	joinWait  time.Duration // startup bound on reaching the coordinator (0 = forever)
+	ckptEvery int           // checkpoint cadence in measurement intervals (0 = off)
 	serve     serveOpts
+}
+
+// shardSpec describes this worker's shard in the transferable form that
+// travels inside every checkpoint, so any adopter can rebuild the same
+// System and reopen the same traffic source.
+func (o workerOpts) shardSpec(qs []loadshed.Query, capacity float64) loadshed.ShardSpec {
+	specQs := make([]loadshed.QuerySpec, len(qs))
+	for i, q := range qs {
+		specQs[i] = loadshed.QuerySpec{Kind: q.Name(), Seed: o.serve.seed}
+	}
+	strategy := ""
+	if o.serve.scheme == "predictive" {
+		strategy = o.serve.strategy
+	}
+	return loadshed.ShardSpec{
+		Scheme:          o.serve.scheme,
+		Strategy:        strategy,
+		Seed:            o.serve.seed + 2,
+		Capacity:        capacity,
+		Workers:         o.serve.workers,
+		ChangeDetection: o.serve.detectOn,
+		Queries:         specQs,
+		MinShare:        o.minShare,
+		Ingest:          o.serve.ingest,
+		Preset:          o.serve.preset,
+		TraceSeed:       o.serve.seed,
+		TraceDur:        o.serve.dur,
+		Scale:           o.serve.scale,
+	}
 }
 
 // runWorker runs one monitor as a cluster member: ingest feeds a local
@@ -204,19 +292,52 @@ func runWorker(ctx context.Context, mkQs func() []loadshed.Query, o workerOpts) 
 	client, err := loadshed.DialCoordinator(o.coordAddr, name, loadshed.CoordClientConfig{
 		MinShare: o.minShare,
 		Lease:    o.lease,
+		Key:      o.key,
 	})
 	if client == nil {
 		die(err)
 	}
 	defer client.Close()
 	if err != nil {
-		fmt.Printf("coordinator %s unreachable (%v); shedding locally until it appears\n", o.coordAddr, err)
+		if o.joinWait <= 0 {
+			fmt.Printf("coordinator %s unreachable (%v); shedding locally until it appears\n", o.coordAddr, err)
+		} else {
+			// Bounded join: a worker that cannot reach its coordinator at
+			// startup is usually misconfigured (wrong address or wrong
+			// -cluster-key), so fail fast instead of redialing forever.
+			fmt.Printf("coordinator %s unreachable (%v); retrying for %v\n", o.coordAddr, err, o.joinWait)
+			deadline := time.Now().Add(o.joinWait)
+			for !client.Connected() {
+				if time.Now().After(deadline) {
+					client.Close()
+					die(fmt.Errorf("coordinator %s still unreachable after -join-timeout %v", o.coordAddr, o.joinWait))
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			fmt.Printf("joined coordinator %s as %q\n", o.coordAddr, name)
+		}
 	} else {
 		fmt.Printf("joined coordinator %s as %q\n", o.coordAddr, name)
 	}
 
+	if o.ckptEvery > 0 && o.serve.customOn {
+		fmt.Println("warning: -checkpoint-every needs -custom=false (custom load shedding has unserializable state); checkpoints will fail until it is disabled")
+	}
 	sys := loadshed.New(cfg, mkQs())
-	node := loadshed.NewNode(sys, client, loadshed.NodeConfig{Name: name, MinShare: o.minShare})
+	node := loadshed.NewNode(sys, client, loadshed.NodeConfig{
+		Name:            name,
+		MinShare:        o.minShare,
+		CheckpointEvery: o.ckptEvery,
+		Spec:            o.shardSpec(mkQs(), capacity),
+	})
+
+	// Adopted shards: the coordinator pushes an orphaned shard's
+	// checkpoint over this worker's link; each adoption runs as its own
+	// Node + System + coordinator connection alongside the local shard.
+	adoptions := newAdoptionState()
+	adoptCtx, stopAdopting := context.WithCancel(ctx)
+	defer stopAdopting()
+	go adoptionLoop(adoptCtx, client, adoptions, o)
 	windowBins := int(o.serve.window / src.TimeBin())
 	sink := &serveSink{roll: loadshed.NewRollingStats(windowBins)}
 	live, _ := src.(*loadshed.LiveSource)
@@ -245,6 +366,18 @@ func runWorker(ctx context.Context, mkQs func() []loadshed.Query, o workerOpts) 
 			fmt.Fprintln(w, "# HELP lsd_node_capacity Cycle budget per bin the engine currently runs under.")
 			fmt.Fprintln(w, "# TYPE lsd_node_capacity gauge")
 			fmt.Fprintf(w, "lsd_node_capacity %g\n", sys.Governor().Capacity())
+			fmt.Fprintln(w, "# HELP lsd_checkpoints_total Shard checkpoints shipped to the coordinator.")
+			fmt.Fprintln(w, "# TYPE lsd_checkpoints_total counter")
+			fmt.Fprintf(w, "lsd_checkpoints_total %d\n", node.CheckpointsSent())
+			fmt.Fprintln(w, "# HELP lsd_checkpoint_errors_total Checkpoints that failed to snapshot or send.")
+			fmt.Fprintln(w, "# TYPE lsd_checkpoint_errors_total counter")
+			fmt.Fprintf(w, "lsd_checkpoint_errors_total %d\n", node.CheckpointErrors())
+			fmt.Fprintln(w, "# HELP lsd_adopted_shards Shards this worker is currently running on behalf of failed or migrated peers.")
+			fmt.Fprintln(w, "# TYPE lsd_adopted_shards gauge")
+			fmt.Fprintf(w, "lsd_adopted_shards %d\n", adoptions.Active())
+			fmt.Fprintln(w, "# HELP lsd_adoptions_total Adoption offers this worker has accepted.")
+			fmt.Fprintln(w, "# TYPE lsd_adoptions_total counter")
+			fmt.Fprintf(w, "lsd_adoptions_total %d\n", adoptions.Total())
 		})}
 		go admin.Serve(ln)
 		fmt.Printf("admin plane on http://%s (healthz, readyz, metrics, queries)\n", ln.Addr())
@@ -256,6 +389,16 @@ func runWorker(ctx context.Context, mkQs func() []loadshed.Query, o workerOpts) 
 	fmt.Printf("serving as cluster worker (%s scheme) ...\n", o.serve.scheme)
 	streamErr := node.StreamContext(ctx, src, sink)
 	closeSrc()
+
+	// The local shard is finished (or drained away by a migration), but
+	// adopted shards keep running until they finish or a signal lands.
+	// The worker's own link stays open meanwhile: it is how new offers
+	// arrive and how the coordinator sees this worker as live.
+	if node.Drained() {
+		fmt.Println("shard drained: final checkpoint handed to the coordinator for migration")
+	}
+	adoptions.Wait()
+	stopAdopting()
 	client.Close()
 	if admin != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

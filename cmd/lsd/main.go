@@ -90,6 +90,11 @@ func main() {
 		minShare  = flag.Float64("min-share", 0, "with -worker: guaranteed fraction of reported demand")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "with -coordinator: budget reallocation period")
 		lease     = flag.Duration("lease", 0, "grant/report freshness lease (0 = 3x heartbeat)")
+		key       = flag.String("cluster-key", "", "pre-shared key authenticating the coordinator link (must match on both sides; empty = unauthenticated)")
+		joinWait  = flag.Duration("join-timeout", 30*time.Second, "with -worker: give up and exit nonzero if the coordinator is unreachable this long at startup (0 = retry forever)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "with -worker: ship a durable shard checkpoint to the coordinator every K measurement intervals (0 = off; needs -custom=false)")
+		stateDir  = flag.String("state-dir", "", "with -coordinator: spill the latest checkpoint per shard here and reload on restart")
+		grace     = flag.Duration("grace", 0, "with -coordinator: how long past its lease a partitioned shard waits before failover (0 = 2x lease)")
 	)
 	flag.Parse()
 
@@ -131,6 +136,9 @@ func main() {
 			capacity:  *capFlag,
 			heartbeat: *heartbeat,
 			lease:     *lease,
+			grace:     *grace,
+			key:       *key,
+			stateDir:  *stateDir,
 		})
 		return
 	}
@@ -140,6 +148,9 @@ func main() {
 			name:      *nodeName,
 			minShare:  *minShare,
 			lease:     *lease,
+			key:       *key,
+			joinWait:  *joinWait,
+			ckptEvery: *ckptEvery,
 			serve: serveOpts{
 				admin:    *serve,
 				ingest:   *ingest,

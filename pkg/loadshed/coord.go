@@ -30,6 +30,7 @@ import (
 	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -53,6 +54,19 @@ type coordNode struct {
 	lastReport time.Time
 	grant      float64
 	grantRound uint64
+
+	// Failover state (coord.go PlanFailover / transport.go heartbeat).
+	partitionedAt time.Time // when the partitioned flag last rose
+	ckptBin       int64     // latest checkpoint's resume bin
+	ckptFinal     bool      // latest checkpoint ended a drain
+	ckptBlob      []byte    // latest gob ShardCheckpoint; nil = none
+	ckptAt        time.Time
+	offeredTo     string    // live node the shard is currently offered to
+	offeredAt     time.Time
+	offerTaken    bool // offer consumed by a polling (loopback) adopter
+	offerAttempts int  // rotates the adopter choice across re-offers
+	migrateTo     string // planned-migration target; directs the offer
+	drainReq      bool   // coordinator wants this shard to drain
 }
 
 // CoordNodeStatus is one node's row in Coordinator.Status, the record
@@ -66,6 +80,14 @@ type CoordNodeStatus struct {
 	Done        bool      `json:"done"`
 	Partitioned bool      `json:"partitioned"`
 	LastReport  time.Time `json:"last_report"`
+
+	// Failover fields: the latest retained checkpoint's resume bin (-1
+	// when no checkpoint is held), whether it was a drain checkpoint,
+	// and any in-flight adoption offer or migration target.
+	CheckpointBin   int64  `json:"checkpoint_bin"`
+	CheckpointFinal bool   `json:"checkpoint_final,omitempty"`
+	OfferedTo       string `json:"offered_to,omitempty"`
+	MigrateTo       string `json:"migrate_to,omitempty"`
 }
 
 // Coordinator is the cross-shard budget allocator, detached from any
@@ -86,6 +108,14 @@ type Coordinator struct {
 	demandBuf []sched.Demand
 	grantBuf  []float64
 	ws        sched.Workspace
+
+	// Failover bookkeeping. stateDir, when set, receives a write-through
+	// copy of every retained checkpoint (one file per shard). The
+	// counters back the lsd_cluster_* metrics. None of this is touched
+	// by allocateLocked, which keeps steady-state rounds at 0 allocs.
+	stateDir     string
+	ckptsStored  int64
+	offersIssued int64
 }
 
 // NewCoordinator returns a coordinator distributing total cycles per
@@ -135,6 +165,13 @@ func (c *Coordinator) Join(name string, minShare float64) {
 	n.partitioned = false
 	n.done = false
 	n.reported = false
+	// A hello settles any in-flight adoption: either the adopter dialed
+	// in under the shard's name (offer consummated) or the original came
+	// back (offer moot). Either way the shard is live again.
+	n.offeredTo = ""
+	n.offerTaken = false
+	n.offerAttempts = 0
+	n.migrateTo = ""
 }
 
 // Report folds a node's demand report in by name (TCP path). Reports
@@ -171,6 +208,15 @@ func (c *Coordinator) reportLocked(n *coordNode, r DemandReport) {
 	// Any report proves liveness: a partitioned node that reaches the
 	// coordinator again rejoins the next allocation.
 	n.partitioned = false
+	// A live report while an offer is outstanding settles the adoption
+	// the same way Join does (reports during a pre-offer drain leave
+	// migrateTo standing — the directed offer still has to happen).
+	if n.offeredTo != "" {
+		n.offeredTo = ""
+		n.offerTaken = false
+		n.offerAttempts = 0
+		n.migrateTo = ""
+	}
 }
 
 // AllocateRound runs one lockstep coordination round: the nodes that
@@ -197,7 +243,10 @@ func (c *Coordinator) AllocateLease(lease time.Duration) {
 	defer c.mu.Unlock()
 	for _, n := range c.nodes {
 		if n.ever && !n.done && now.Sub(n.lastReport) > lease {
-			n.partitioned = true
+			if !n.partitioned {
+				n.partitioned = true
+				n.partitionedAt = now // starts the failover grace window
+			}
 		}
 	}
 	c.allocateLocked(func(n *coordNode) bool { return n.ever && !n.done && !n.partitioned })
@@ -275,6 +324,14 @@ func (c *Coordinator) Status() []CoordNodeStatus {
 			Done:        n.done,
 			Partitioned: n.partitioned,
 			LastReport:  n.lastReport,
+
+			CheckpointBin:   -1,
+			CheckpointFinal: n.ckptFinal,
+			OfferedTo:       n.offeredTo,
+			MigrateTo:       n.migrateTo,
+		}
+		if n.ckptBlob != nil {
+			out[i].CheckpointBin = n.ckptBin
 		}
 	}
 	return out
@@ -298,6 +355,17 @@ type Node struct {
 	seeded   bool
 	done     bool
 	doneSent bool
+
+	// Checkpoint/drain state (see the boundary method). drainReq may be
+	// raised from any goroutine; the rest belongs to the run goroutine
+	// except the atomic counters, which metrics read concurrently.
+	ckptEvery int
+	spec      ShardSpec
+	binOffset int64
+	drainReq  atomic.Bool
+	drained   bool
+	ckptsSent atomic.Int64
+	ckptErrs  atomic.Int64
 }
 
 // NodeConfig parameterizes a standalone cluster member.
@@ -311,6 +379,25 @@ type NodeConfig struct {
 	// DemandAlpha is the EWMA weight of the reported demand estimate
 	// (default 0.5, see ClusterConfig.DemandAlpha).
 	DemandAlpha float64
+
+	// CheckpointEvery ships a ShardCheckpoint to the coordinator every
+	// K measurement intervals (through the transport, which must
+	// implement CheckpointSender for any to flow). 0 disables
+	// checkpointing entirely: the boundary hook then never snapshots and
+	// the node's bins and transport traffic are identical to a build
+	// without the failover layer.
+	CheckpointEvery int
+	// Spec describes how to rebuild this shard elsewhere; it travels
+	// inside every checkpoint. Required (non-empty Queries) when
+	// CheckpointEvery > 0 or drains are expected, ignored otherwise.
+	Spec ShardSpec
+	// BinOffset is the shard's absolute bin at which this run starts —
+	// the checkpoint bin a resumed shard was restored from. The runner
+	// counts bins from zero each run, so reports and checkpoints add
+	// this offset to keep the shard's bin coordinates absolute across
+	// adoptions; a second migration then repositions the source
+	// correctly instead of at a run-relative bin.
+	BinOffset int64
 }
 
 // NewNode wraps sys as a cluster member reporting through tr. The
@@ -321,7 +408,12 @@ func NewNode(sys *System, tr NodeTransport, cfg NodeConfig) *Node {
 	if cfg.DemandAlpha == 0 {
 		cfg.DemandAlpha = 0.5
 	}
-	return &Node{name: cfg.Name, minShare: cfg.MinShare, alpha: cfg.DemandAlpha, sys: sys, tr: tr}
+	return &Node{
+		name: cfg.Name, minShare: cfg.MinShare, alpha: cfg.DemandAlpha,
+		sys: sys, tr: tr,
+		ckptEvery: cfg.CheckpointEvery, spec: cfg.Spec,
+		binOffset: cfg.BinOffset,
+	}
 }
 
 // System returns the wrapped engine.
@@ -386,14 +478,20 @@ func (n *Node) report() {
 		return
 	}
 	if n.done {
+		if n.drained {
+			// A drained shard is not done — it resumes elsewhere. The
+			// final checkpoint announced the handoff; a done report here
+			// would strip the shard from the membership for good.
+			return
+		}
 		if !n.doneSent {
 			n.doneSent = true
-			n.tr.Report(DemandReport{Node: n.name, Bin: int64(n.bin()), Done: true})
+			n.tr.Report(DemandReport{Node: n.name, Bin: n.binOffset + int64(n.bin()), Done: true})
 		}
 		return
 	}
 	n.observe()
-	n.tr.Report(DemandReport{Node: n.name, Bin: int64(n.run.bin), Demand: n.demand, MinShare: n.minShare})
+	n.tr.Report(DemandReport{Node: n.name, Bin: n.binOffset + int64(n.run.bin), Demand: n.demand, MinShare: n.minShare})
 }
 
 // applyGrant installs the coordinator's latest capacity decision, if a
@@ -413,6 +511,82 @@ func (n *Node) applyGrant() {
 	n.sys.SetCapacity(g.Capacity)
 }
 
+// RequestDrain asks the node to stop at its next measurement-interval
+// boundary, shipping a final checkpoint first — the local half of a
+// planned migration. Safe from any goroutine; the transport's drain
+// relay (DrainSignaler) triggers the same path remotely.
+func (n *Node) RequestDrain() { n.drainReq.Store(true) }
+
+// Drained reports whether the node stopped for a drain (as opposed to
+// exhausting its trace). Valid after StreamContext returns.
+func (n *Node) Drained() bool { return n.drained }
+
+// CheckpointsSent returns how many checkpoints this node has shipped.
+func (n *Node) CheckpointsSent() int64 { return n.ckptsSent.Load() }
+
+// CheckpointErrors returns how many checkpoint attempts failed (send
+// error or unsnapshottable state). Checkpointing is advisory, so these
+// never stop the run — they only surface in metrics.
+func (n *Node) CheckpointErrors() int64 { return n.ckptErrs.Load() }
+
+// boundary is the node's runner hook, called at every measurement-
+// interval boundary — the quiesce point where System.Snapshot is valid.
+// It ships a periodic checkpoint every CheckpointEvery intervals, and
+// answers a drain request (local RequestDrain or the coordinator's
+// relayed drain) with a final checkpoint followed by stopping the run.
+// With CheckpointEvery zero and no drain pending it does nothing, so
+// the run is untouched by the failover layer.
+func (n *Node) boundary(bin, interval int) bool {
+	drain := n.drainReq.Load()
+	if !drain {
+		if ds, ok := n.tr.(DrainSignaler); ok && ds.DrainRequested() {
+			drain = true
+		}
+	}
+	periodic := n.ckptEvery > 0 && interval%n.ckptEvery == 0
+	if !drain && !periodic {
+		return true
+	}
+	n.sys.regMu.Lock()
+	pending := len(n.sys.regOps)
+	n.sys.regMu.Unlock()
+	if pending > 0 {
+		// Registry ops join at this boundary, after the hook; a snapshot
+		// now would lose them. Defer to the next boundary, by which time
+		// they have applied.
+		return true
+	}
+	cs, ok := n.tr.(CheckpointSender)
+	if !ok || n.tr == nil {
+		// No checkpoint path. A drain still stops the run (the caller
+		// asked for quiesce), it just cannot hand the state anywhere.
+		if drain {
+			n.drained = true
+			return false
+		}
+		return true
+	}
+	snap, err := n.sys.Snapshot()
+	if err != nil {
+		n.ckptErrs.Add(1)
+		return true // unsnapshottable (custom shedding): keep running
+	}
+	cp := &ShardCheckpoint{Node: n.name, Bin: n.binOffset + int64(bin), Final: drain, Spec: n.spec, Snap: snap}
+	if err := cs.Checkpoint(cp); err != nil {
+		// Advisory either way: a failed periodic checkpoint just waits
+		// for the next one, and a drain whose handoff failed keeps
+		// serving rather than stopping with the state nowhere.
+		n.ckptErrs.Add(1)
+		return true
+	}
+	n.ckptsSent.Add(1)
+	if drain {
+		n.drained = true
+		return false
+	}
+	return true
+}
+
 // bin returns the node's current bin index (0 before any step).
 func (n *Node) bin() int {
 	if n.run == nil {
@@ -430,8 +604,10 @@ func (n *Node) StreamContext(ctx context.Context, src trace.Source, sink Sink) e
 	n.src = src
 	n.run = n.sys.newRunner(src, sink)
 	n.run.done = ctx.Done()
+	n.run.boundary = n.boundary
 	n.done = false
 	n.doneSent = false
+	n.drained = false
 	n.caps = n.caps[:0]
 	for {
 		n.step()

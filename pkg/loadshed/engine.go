@@ -601,7 +601,16 @@ type runner struct {
 	// done, when non-nil, cancels the run: step returns false at the
 	// next bin boundary once it is closed. nil (the Stream/Run path)
 	// never fires, so the select degenerates to the plain receive.
-	done            <-chan struct{}
+	done <-chan struct{}
+	// boundary, when non-nil, runs at every measurement-interval
+	// boundary before the closing interval flushes — the quiesce point
+	// where System.Snapshot is valid (nothing interval-scoped survives
+	// the boundary, and extractors have not yet rotated). Returning
+	// false stops the run before the flush: finish() then performs the
+	// single final flush, so a drained run is bin-for-bin identical to
+	// a run over the same prefix of the trace. Node uses the hook for
+	// periodic checkpoints and coordinator-ordered drains.
+	boundary        func(bin, interval int) bool
 	binsPerInterval int
 	curInterval     int
 	bin             int
@@ -674,7 +683,14 @@ func (r *runner) step() bool {
 			return false
 		}
 		r.batch = slot.batch
-		r.advance()
+		if !r.advance() {
+			// Drained at the boundary: the slot's batch was read from
+			// the source but not processed — the checkpoint records the
+			// bin, and the resumed run re-reads it from a repositioned
+			// source (ResumeSource).
+			r.pipe.free <- slot
+			return false
+		}
 		if slot.sketched {
 			s.specSketch = slot.sketch
 		}
@@ -694,7 +710,9 @@ func (r *runner) step() bool {
 			return false
 		}
 		r.batch = b
-		r.advance()
+		if !r.advance() {
+			return false
+		}
 		r.lastBin = s.step(r.bin, &r.batch)
 	}
 	r.sink.OnBin(&r.lastBin)
@@ -705,8 +723,9 @@ func (r *runner) step() bool {
 	return true
 }
 
-// advance handles the work that precedes a bin's stage chain.
-func (r *runner) advance() {
+// advance handles the work that precedes a bin's stage chain. It
+// reports false when a boundary hook stopped the run.
+func (r *runner) advance() bool {
 	s := r.s
 	// Measurement interval boundary: flush results, rotate hashes. This
 	// must happen before mid-run arrivals join — a query arriving exactly
@@ -714,6 +733,9 @@ func (r *runner) advance() {
 	// first bin, not to the closing one (where it would be flushed with a
 	// spurious empty report it never saw traffic for).
 	if iv := r.bin / r.binsPerInterval; iv != r.curInterval {
+		if r.boundary != nil && !r.boundary(r.bin, iv) {
+			return false
+		}
 		r.lastIvr = s.flush(r.curInterval)
 		r.sink.OnInterval(&r.lastIvr)
 		r.curInterval = iv
@@ -732,6 +754,7 @@ func (r *runner) advance() {
 			r.sink.OnQuery(len(s.qs)-1, q.Name())
 		}
 	}
+	return true
 }
 
 // finish flushes the last open interval into the sink and releases the

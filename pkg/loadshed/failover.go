@@ -1,0 +1,350 @@
+package loadshed
+
+// failover.go — the coordinator's crash-recovery and migration side.
+// The budget allocator (coord.go) decides who gets cycles; this file
+// decides who gets orphaned shards. Three mechanisms share one state
+// machine on coordNode:
+//
+//   - Retention: StoreCheckpoint keeps the latest gob ShardCheckpoint
+//     per shard (bounded — one blob per shard), optionally written
+//     through to a state directory so a restarted coordinator still
+//     holds every shard's last known state.
+//   - Failover: planFailover turns "partitioned longer than the grace
+//     window, with a checkpoint on file" into an adoption offer to a
+//     live node. Offers expire and re-issue with the adopter choice
+//     rotating through the live membership, so a refused or lost offer
+//     does not wedge the shard. An offer is settled by a hello or live
+//     report under the shard's name — the adopter dialing in, or the
+//     original coming back (coord.go clears the offer on both paths).
+//     If both happen, the ordinary reconnect rule applies: the last
+//     hello owns the connection, and the shard keeps exactly one grant
+//     stream — the race is benign by the same supersede rule that
+//     covers any worker reconnect.
+//   - Migration: Migrate marks a shard drain-requested with a directed
+//     target. The transport relays the drain; the shard checkpoints
+//     with Final set at its next interval boundary and stops; the final
+//     checkpoint makes the shard offerable immediately (no grace — the
+//     source stopped deliberately) and the offer goes to the requested
+//     target only.
+//
+// None of this runs inside allocateLocked: failover planning is
+// heartbeat-path work, and the steady-state allocation round stays at
+// 0 allocs/op.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// AdoptOrder instructs the transport layer to offer an orphaned shard
+// to a live node. Blob is the retained gob ShardCheckpoint.
+type AdoptOrder struct {
+	Shard   string
+	Adopter string
+	Bin     int64
+	Blob    []byte
+}
+
+// AdoptOffer is the worker-side view of an adoption offer, as surfaced
+// by a transport's Adoption method: the shard to take over and its
+// checkpoint blob (decode with DecodeShardCheckpoint).
+type AdoptOffer struct {
+	Shard      string
+	Bin        int64
+	Checkpoint []byte
+}
+
+// StoreCheckpoint retains a shard's latest checkpoint by name (the TCP
+// path). Checkpoints for unknown names register a membership record, so
+// state reloaded from disk is offerable even before the shard's worker
+// reconnects.
+func (c *Coordinator) StoreCheckpoint(name string, bin int64, final bool, blob []byte) {
+	c.mu.Lock()
+	n := c.byName[name]
+	if n == nil {
+		n = &coordNode{name: name}
+		c.nodes = append(c.nodes, n)
+		c.byName[name] = n
+	}
+	c.storeCheckpointLocked(n, bin, final, blob)
+}
+
+// storeCheckpointNode is StoreCheckpoint addressed by handle (loopback
+// path, where records are not name-keyed).
+func (c *Coordinator) storeCheckpointNode(n *coordNode, bin int64, final bool, blob []byte) {
+	c.mu.Lock()
+	c.storeCheckpointLocked(n, bin, final, blob)
+}
+
+// storeCheckpointLocked takes c.mu held and releases it — the disk
+// write-through happens outside the lock.
+func (c *Coordinator) storeCheckpointLocked(n *coordNode, bin int64, final bool, blob []byte) {
+	n.ckptBin = bin
+	n.ckptFinal = final
+	n.ckptAt = time.Now()
+	n.ckptBlob = append(n.ckptBlob[:0], blob...) // latest only: bounded
+	if final {
+		n.drainReq = false // the drain this checkpoint answers is over
+	}
+	c.ckptsStored++
+	dir, name := c.stateDir, n.name
+	c.mu.Unlock()
+	if dir != "" {
+		// Best-effort write-through; retention in memory is what
+		// failover reads, the file only survives coordinator restarts.
+		spillCheckpoint(dir, name, blob)
+	}
+}
+
+// Checkpoint returns a copy of the shard's retained checkpoint blob and
+// its resume bin; ok=false when none is held.
+func (c *Coordinator) Checkpoint(name string) (blob []byte, bin int64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.byName[name]
+	if n == nil || n.ckptBlob == nil {
+		return nil, 0, false
+	}
+	return append([]byte(nil), n.ckptBlob...), n.ckptBin, true
+}
+
+// CheckpointsStored returns how many checkpoints have been retained
+// (lsd_cluster_checkpoints_total).
+func (c *Coordinator) CheckpointsStored() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckptsStored
+}
+
+// FailoverOffers returns how many adoption offers have been issued,
+// re-offers included (lsd_cluster_failover_offers_total).
+func (c *Coordinator) FailoverOffers() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offersIssued
+}
+
+// ckptFileName maps a shard name to its spill file, replacing anything
+// path-hostile. Distinct names could collide after sanitizing; the blob
+// itself carries the authoritative shard name, which reloads use.
+func ckptFileName(name string) string {
+	b := []byte(name)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
+			ch >= '0' && ch <= '9', ch == '.', ch == '_', ch == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b) + ".ckpt"
+}
+
+// spillCheckpoint writes blob to dir atomically (temp file + rename).
+func spillCheckpoint(dir, name string, blob []byte) error {
+	path := filepath.Join(dir, ckptFileName(name))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// SetStateDir enables checkpoint spill to dir (created if missing) and
+// reloads any checkpoints already there — the coordinator-restart path.
+// A reloaded shard with no live worker is marked partitioned as of now,
+// so it becomes adoptable once the grace window passes and a live
+// adopter exists; if its worker is merely slow to reconnect, the hello
+// clears the mark as usual. Unreadable or stale-format files are
+// skipped (reported in the error after all files are tried).
+func (c *Coordinator) SetStateDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("loadshed: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("loadshed: state dir: %w", err)
+	}
+	var firstErr error
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".ckpt" {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err == nil {
+			var cp *ShardCheckpoint
+			cp, err = DecodeShardCheckpoint(bytes.NewReader(blob))
+			if err == nil {
+				c.StoreCheckpoint(cp.Node, cp.Bin, cp.Final, blob)
+				c.mu.Lock()
+				n := c.byName[cp.Node]
+				if !n.ever {
+					// No worker has spoken for this shard yet: treat it
+					// as partitioned since the reload, pending a hello.
+					n.ever = true
+					n.partitioned = true
+					n.partitionedAt = time.Now()
+				}
+				c.mu.Unlock()
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("loadshed: state dir: reload %s: %w", e.Name(), err)
+		}
+	}
+	c.mu.Lock()
+	c.stateDir = dir
+	c.mu.Unlock()
+	return firstErr
+}
+
+// PlanFailover issues adoption offers for orphaned shards: partitioned
+// past the grace window with a checkpoint on file, or drained with a
+// directed migration target. An issued offer suppresses re-offers for
+// offerTimeout; after that the shard re-offers with the adopter
+// rotating through the live membership. The TCP server calls this each
+// heartbeat and pushes the returned orders as adopt frames; loopback
+// adopters poll the offers off the coordinator instead.
+func (c *Coordinator) PlanFailover(grace, offerTimeout time.Duration) []AdoptOrder {
+	return c.planFailover(time.Now(), grace, offerTimeout)
+}
+
+func (c *Coordinator) planFailover(now time.Time, grace, offerTimeout time.Duration) []AdoptOrder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []AdoptOrder
+	for _, n := range c.nodes {
+		if n.done || n.ckptBlob == nil {
+			continue
+		}
+		crashed := n.partitioned && now.Sub(n.partitionedAt) >= grace
+		migrating := n.migrateTo != "" && n.ckptFinal
+		if !crashed && !migrating {
+			continue
+		}
+		if n.offeredTo != "" && now.Sub(n.offeredAt) < offerTimeout {
+			continue // an offer is in flight; give it time
+		}
+		adopter := c.pickAdopterLocked(n)
+		if adopter == nil {
+			continue // no live candidate this round; retry next heartbeat
+		}
+		n.offeredTo = adopter.name
+		n.offeredAt = now
+		n.offerTaken = false
+		n.offerAttempts++
+		c.offersIssued++
+		out = append(out, AdoptOrder{Shard: n.name, Adopter: adopter.name, Bin: n.ckptBin, Blob: n.ckptBlob})
+	}
+	return out
+}
+
+// pickAdopterLocked chooses who to offer n's shard to: the directed
+// migration target if one is set (and live), else the live nodes in
+// join order, rotated by how many offers this shard has already had —
+// a lost or ignored offer moves on to the next candidate.
+func (c *Coordinator) pickAdopterLocked(n *coordNode) *coordNode {
+	live := func(m *coordNode) bool {
+		return m != n && m.ever && !m.done && !m.partitioned
+	}
+	if n.migrateTo != "" {
+		if m := c.byName[n.migrateTo]; m != nil && live(m) {
+			return m
+		}
+		return nil // directed target gone; hold rather than misdeliver
+	}
+	var candidates []*coordNode
+	for _, m := range c.nodes {
+		if live(m) {
+			candidates = append(candidates, m)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[n.offerAttempts%len(candidates)]
+}
+
+// clearOffer withdraws an in-flight offer (the transport failed to
+// deliver it), so the next planning round re-offers immediately.
+func (c *Coordinator) clearOffer(shard string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.byName[shard]; n != nil {
+		n.offeredTo = ""
+	}
+}
+
+// takeOfferFor returns (at most once per issued offer) an offer
+// addressed to the polling node — the loopback delivery path, matching
+// the TCP client's Adoption method.
+func (c *Coordinator) takeOfferFor(adopter *coordNode) (AdoptOffer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.offeredTo == adopter.name && !n.offerTaken && n.ckptBlob != nil {
+			n.offerTaken = true
+			return AdoptOffer{
+				Shard:      n.name,
+				Bin:        n.ckptBin,
+				Checkpoint: append([]byte(nil), n.ckptBlob...),
+			}, true
+		}
+	}
+	return AdoptOffer{}, false
+}
+
+// Migrate requests a planned migration: shard from drains at its next
+// interval boundary and its final checkpoint is offered to shard to's
+// worker. Both must be known; the target must be live; a shard cannot
+// migrate onto itself.
+func (c *Coordinator) Migrate(from, to string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.byName[from]
+	if f == nil {
+		return fmt.Errorf("loadshed: migrate: unknown shard %q", from)
+	}
+	if f.done {
+		return fmt.Errorf("loadshed: migrate: shard %q already finished", from)
+	}
+	t := c.byName[to]
+	if t == nil {
+		return fmt.Errorf("loadshed: migrate: unknown target %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("loadshed: migrate: shard %q cannot migrate onto itself", from)
+	}
+	if !t.ever || t.done || t.partitioned {
+		return fmt.Errorf("loadshed: migrate: target %q is not live", to)
+	}
+	f.drainReq = true
+	f.migrateTo = to
+	return nil
+}
+
+// drainTargets appends the names of shards with a drain outstanding;
+// the TCP server relays a drain frame to each connected one every
+// heartbeat until the final checkpoint lands (which clears the flag).
+func (c *Coordinator) drainTargets(dst []string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dst = dst[:0]
+	for _, n := range c.nodes {
+		if n.drainReq {
+			dst = append(dst, n.name)
+		}
+	}
+	return dst
+}
+
+// drainRequestedNode reports whether a drain is pending for the handle
+// (loopback path).
+func (c *Coordinator) drainRequestedNode(n *coordNode) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return n.drainReq
+}

@@ -1,0 +1,870 @@
+package loadshed
+
+// failover_test.go pins the crash-tolerance layer: planned migration
+// must be bit-identical (the drained prefix plus the resumed suffix
+// reproduce an uninterrupted run, digest for digest), periodic
+// checkpoints must resume exactly from the coordinator's retained blob,
+// the CheckpointEvery=0 path must leave runs untouched, failover
+// offers must rotate deterministically under loss, and the PSK auth
+// handshake must reject key mismatches while counting them.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hash"
+	"repro/internal/trace"
+)
+
+// migrationSpec is the spec-constructible shard the failover tests run:
+// the same query set as snapshot_test, buildable via QueryByName so an
+// adopter can rebuild it from the checkpoint alone.
+func migrationSpec(workers int, capacity float64) ShardSpec {
+	return ShardSpec{
+		Scheme:   "predictive",
+		Strategy: "mmfs_pkt",
+		Seed:     99,
+		Capacity: capacity,
+		Workers:  workers,
+		Queries: []QuerySpec{
+			{Kind: "flows", Seed: 11},
+			{Kind: "counter", Seed: 11},
+			{Kind: "top-k", Seed: 11},
+		},
+	}
+}
+
+// captureTransport is a NodeTransport that swallows reports, grants
+// nothing, records every checkpoint as its encoded blob, and raises the
+// drain signal once the node has reported past drainAfterBin — the
+// deterministic stand-in for a coordinator-relayed drain frame.
+type captureTransport struct {
+	mu            sync.Mutex
+	drainAfterBin int64 // >0: drain once a report reaches this bin
+	lastBin       int64
+	blobs         [][]byte
+}
+
+func (t *captureTransport) Report(r DemandReport) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r.Bin > t.lastBin {
+		t.lastBin = r.Bin
+	}
+	return nil
+}
+
+func (t *captureTransport) Grant() (BudgetGrant, bool) { return BudgetGrant{}, false }
+func (t *captureTransport) Close() error               { return nil }
+
+func (t *captureTransport) Checkpoint(cp *ShardCheckpoint) error {
+	blob, err := cp.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.blobs = append(t.blobs, blob)
+	return nil
+}
+
+func (t *captureTransport) DrainRequested() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drainAfterBin > 0 && t.lastBin >= t.drainAfterBin
+}
+
+func (t *captureTransport) checkpoints() [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([][]byte(nil), t.blobs...)
+}
+
+// binDigests hashes each bin's full stats record; two runs are
+// bit-identical exactly when their digest sequences match.
+func binDigests(t *testing.T, bins []BinStats) [][sha256.Size]byte {
+	t.Helper()
+	out := make([][sha256.Size]byte, len(bins))
+	for i := range bins {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&bins[i]); err != nil {
+			t.Fatalf("digest bin %d: %v", i, err)
+		}
+		out[i] = sha256.Sum256(buf.Bytes())
+	}
+	return out
+}
+
+// TestPlannedMigrationBitIdentical is the migration acceptance gate: a
+// shard drained at a measurement-interval boundary, checkpointed
+// through the full encode/decode round trip, rebuilt from its spec on
+// the other side and resumed on a repositioned source must produce —
+// prefix plus suffix — the exact per-bin sha256 digests of a run that
+// never migrated. Sequential and pipelined engines both.
+func TestPlannedMigrationBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"pipelined", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const dur = 4 * time.Second // 4 measurement intervals
+			g := trace.NewGenerator(trace.CESCA2(9, dur, 0.4))
+			batches := trace.Record(g)
+			bin := g.TimeBin()
+			perInterval := int(time.Second / bin)
+			cut := 2 * perInterval
+			if cut <= 0 || cut >= len(batches) {
+				t.Fatalf("bad cut %d of %d batches", cut, len(batches))
+			}
+			capacity := MeasureCapacity(trace.NewMemorySource(batches, bin), snapshotTestQueries(), 77) * 0.7
+			spec := migrationSpec(tc.workers, capacity)
+			mkSys := func() *System {
+				s, err := spec.NewSystem()
+				if err != nil {
+					t.Fatalf("spec system: %v", err)
+				}
+				return s
+			}
+
+			ref := mkSys().Run(trace.NewMemorySource(batches, bin))
+			want := binDigests(t, ref.Bins)
+
+			// The migrating run: a Node whose transport raises the drain
+			// signal at the second interval boundary (the coordinator's
+			// relayed drain frame, made deterministic).
+			tr := &captureTransport{drainAfterBin: int64(cut)}
+			sink := newResultSink(Predictive)
+			node := NewNode(mkSys(), tr, NodeConfig{Name: "mig", Spec: spec})
+			if err := node.StreamContext(context.Background(), trace.NewMemorySource(batches, bin), sink); err != nil {
+				t.Fatalf("drained stream: %v", err)
+			}
+			if !node.Drained() {
+				t.Fatal("node ran to completion instead of draining")
+			}
+			blobs := tr.checkpoints()
+			if len(blobs) != 1 {
+				t.Fatalf("%d checkpoints shipped, want exactly the final one", len(blobs))
+			}
+			cp, err := DecodeShardCheckpoint(bytes.NewReader(blobs[0]))
+			if err != nil {
+				t.Fatalf("decode checkpoint: %v", err)
+			}
+			if !cp.Final || cp.Node != "mig" || cp.Bin != int64(cut) {
+				t.Fatalf("final checkpoint = {node %q, bin %d, final %v}, want {mig, %d, true}",
+					cp.Node, cp.Bin, cp.Final, cut)
+			}
+			if len(sink.res.Bins) != cut {
+				t.Fatalf("drained run produced %d bins, want %d", len(sink.res.Bins), cut)
+			}
+
+			// The adopting side: rebuild purely from the checkpoint —
+			// spec-built system, restored snapshot, repositioned source.
+			sys2, err := cp.Spec.NewSystem()
+			if err != nil {
+				t.Fatalf("rebuild from spec: %v", err)
+			}
+			if err := sys2.Restore(cp.Snap); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			r2 := sys2.Run(ResumeSource(trace.NewMemorySource(batches, bin), cp.Bin))
+
+			got := append(binDigests(t, sink.res.Bins), binDigests(t, r2.Bins)...)
+			if len(got) != len(want) {
+				t.Fatalf("migrated run produced %d bins, uninterrupted %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					side := "pre-drain"
+					if i >= cut {
+						side = "resumed"
+					}
+					t.Fatalf("bin %d (%s) digest diverged from the uninterrupted run", i, side)
+				}
+			}
+		})
+	}
+}
+
+// TestPeriodicCheckpointResumeLoopback drives the periodic path end to
+// end over the loopback transport: a Node with CheckpointEvery=1 ships
+// a checkpoint at every interval boundary, the coordinator retains the
+// latest, and a fresh system resumed from that retained blob reproduces
+// the original run's remaining bins exactly.
+func TestPeriodicCheckpointResumeLoopback(t *testing.T) {
+	const dur = 4 * time.Second
+	g := trace.NewGenerator(trace.CESCA2(9, dur, 0.4))
+	batches := trace.Record(g)
+	bin := g.TimeBin()
+	perInterval := int(time.Second / bin)
+	capacity := MeasureCapacity(trace.NewMemorySource(batches, bin), snapshotTestQueries(), 77) * 0.7
+	spec := migrationSpec(1, capacity)
+
+	coord := NewCoordinator(MMFSCPU(), capacity)
+	tr := NewLoopback(coord, "w0", 0)
+	sys, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	node := NewNode(sys, tr, NodeConfig{Name: "w0", CheckpointEvery: 1, Spec: spec})
+	sink := newResultSink(Predictive)
+	if err := node.StreamContext(context.Background(), trace.NewMemorySource(batches, bin), sink); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	// 4 intervals cross 3 interior boundaries; every one checkpoints.
+	if got := node.CheckpointsSent(); got != 3 {
+		t.Fatalf("node sent %d checkpoints, want 3", got)
+	}
+	if got := coord.CheckpointsStored(); got != 3 {
+		t.Fatalf("coordinator stored %d checkpoints, want 3", got)
+	}
+	if got := node.CheckpointErrors(); got != 0 {
+		t.Fatalf("%d checkpoint errors", got)
+	}
+
+	// The loopback transport registers by handle, not name, so read the
+	// retained blob off the membership record directly.
+	var blob []byte
+	coord.mu.Lock()
+	for _, n := range coord.nodes {
+		if n.name == "w0" {
+			blob = append([]byte(nil), n.ckptBlob...)
+		}
+	}
+	coord.mu.Unlock()
+	if blob == nil {
+		t.Fatal("coordinator retained no checkpoint")
+	}
+	cp, err := DecodeShardCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("decode retained checkpoint: %v", err)
+	}
+	if want := int64(3 * perInterval); cp.Bin != want {
+		t.Fatalf("latest checkpoint at bin %d, want %d", cp.Bin, want)
+	}
+	if cp.Final {
+		t.Fatal("periodic checkpoint marked final")
+	}
+
+	sys2, err := cp.Spec.NewSystem()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if err := sys2.Restore(cp.Snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	r2 := sys2.Run(ResumeSource(trace.NewMemorySource(batches, bin), cp.Bin))
+	tail := sink.res.Bins[cp.Bin:]
+	if len(r2.Bins) != len(tail) {
+		t.Fatalf("resumed run produced %d bins, original tail has %d", len(r2.Bins), len(tail))
+	}
+	for i := range tail {
+		if !reflect.DeepEqual(r2.Bins[i], tail[i]) {
+			t.Fatalf("resumed bin %d diverged from original bin %d", i, int(cp.Bin)+i)
+		}
+	}
+}
+
+// TestCheckpointEveryZeroUntouched pins the off-switch: with
+// CheckpointEvery=0 and no drain, the boundary hook must neither
+// snapshot nor touch the transport, and the bins must be identical to a
+// plain System run — the failover layer costs nothing when unused.
+func TestCheckpointEveryZeroUntouched(t *testing.T) {
+	const dur = 2 * time.Second
+	g := trace.NewGenerator(trace.CESCA2(9, dur, 0.4))
+	batches := trace.Record(g)
+	bin := g.TimeBin()
+	capacity := MeasureCapacity(trace.NewMemorySource(batches, bin), snapshotTestQueries(), 77) * 0.7
+	spec := migrationSpec(1, capacity)
+
+	plain, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	want := plain.Run(trace.NewMemorySource(batches, bin))
+
+	tr := &captureTransport{}
+	sys, _ := spec.NewSystem()
+	node := NewNode(sys, tr, NodeConfig{Name: "off", Spec: spec})
+	sink := newResultSink(Predictive)
+	if err := node.StreamContext(context.Background(), trace.NewMemorySource(batches, bin), sink); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if n := len(tr.checkpoints()); n != 0 {
+		t.Fatalf("%d checkpoints shipped with CheckpointEvery=0", n)
+	}
+	if n := node.CheckpointsSent(); n != 0 {
+		t.Fatalf("checkpoint counter at %d with CheckpointEvery=0", n)
+	}
+	if !reflect.DeepEqual(sink.res.Bins, want.Bins) {
+		t.Fatal("bins diverged from a plain System run with checkpointing off")
+	}
+}
+
+// TestTCPAdoptionFailover runs the crash half of failover over real TCP:
+// worker alpha ships a checkpoint and dies; past the lease plus grace
+// the coordinator offers alpha's shard to the surviving worker, whose
+// client surfaces a decodable adoption offer.
+func TestTCPAdoptionFailover(t *testing.T) {
+	coord := NewCoordinator(MMFSCPU(), 1000)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := ServeCoordinator(ln, coord, CoordServerConfig{
+		Heartbeat:    10 * time.Millisecond,
+		Lease:        60 * time.Millisecond,
+		Grace:        50 * time.Millisecond,
+		OfferTimeout: 100 * time.Millisecond,
+	})
+	defer srv.Close()
+
+	ccfg := CoordClientConfig{
+		Lease:    60 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond,
+		RetryMax: 20 * time.Millisecond,
+	}
+	alpha, err := DialCoordinator(srv.Addr().String(), "alpha", ccfg)
+	if err != nil {
+		t.Fatalf("dial alpha: %v", err)
+	}
+	beta, err := DialCoordinator(srv.Addr().String(), "beta", ccfg)
+	if err != nil {
+		t.Fatalf("dial beta: %v", err)
+	}
+	defer beta.Close()
+
+	// Alpha's shard state: a fresh spec-built system, snapshotted at the
+	// between-runs quiesce point.
+	spec := migrationSpec(1, 500)
+	sys, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	cp := &ShardCheckpoint{Node: "alpha", Bin: 0, Spec: spec, Snap: snap}
+
+	alpha.Report(DemandReport{Node: "alpha", Bin: 1, Demand: 400})
+	beta.Report(DemandReport{Node: "beta", Bin: 1, Demand: 400})
+	if err := alpha.Checkpoint(cp); err != nil {
+		t.Fatalf("ship checkpoint: %v", err)
+	}
+	waitFor(t, 5*time.Second, "checkpoint retained", func() bool {
+		return coord.CheckpointsStored() >= 1
+	})
+
+	// Alpha dies. Beta keeps reporting (it must stay live to adopt) and
+	// polls for the offer the coordinator pushes after lease + grace.
+	alpha.Close()
+	var offer AdoptOffer
+	waitFor(t, 5*time.Second, "adoption offer delivered to the survivor", func() bool {
+		beta.Report(DemandReport{Node: "beta", Bin: 2, Demand: 400})
+		o, ok := beta.Adoption()
+		if ok {
+			offer = o
+		}
+		return ok
+	})
+	if offer.Shard != "alpha" {
+		t.Fatalf("offered shard %q, want alpha", offer.Shard)
+	}
+	got, err := DecodeShardCheckpoint(bytes.NewReader(offer.Checkpoint))
+	if err != nil {
+		t.Fatalf("offered blob undecodable: %v", err)
+	}
+	if got.Node != "alpha" || got.Bin != offer.Bin {
+		t.Fatalf("offer carries {node %q, bin %d}, frame says bin %d", got.Node, got.Bin, offer.Bin)
+	}
+	if coord.FailoverOffers() == 0 {
+		t.Fatal("offer counter never moved")
+	}
+}
+
+// TestCoordinatorAuthPSK pins the pre-shared-key handshake: the right
+// key joins and is granted, a wrong key and a keyless hello are both
+// rejected and counted, and a keyed client against a keyless
+// coordinator fails its dial with a diagnosable error.
+func TestCoordinatorAuthPSK(t *testing.T) {
+	coord := NewCoordinator(MMFSCPU(), 1000)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := ServeCoordinator(ln, coord, CoordServerConfig{
+		Heartbeat: 10 * time.Millisecond,
+		Lease:     60 * time.Millisecond,
+		Key:       "sesame",
+	})
+	defer srv.Close()
+
+	good, err := DialCoordinator(srv.Addr().String(), "good", CoordClientConfig{
+		Lease: 60 * time.Millisecond, Key: "sesame",
+	})
+	if err != nil {
+		t.Fatalf("dial with the right key: %v", err)
+	}
+	defer good.Close()
+	waitFor(t, 5*time.Second, "authenticated worker granted", func() bool {
+		good.Report(DemandReport{Node: "good", Bin: 1, Demand: 500})
+		_, ok := good.Grant()
+		return ok
+	})
+	if n := srv.AuthFailures(); n != 0 {
+		t.Fatalf("%d auth failures before any bad client", n)
+	}
+
+	bad, _ := DialCoordinator(srv.Addr().String(), "bad", CoordClientConfig{
+		Lease: 60 * time.Millisecond, Key: "wrong",
+		RetryMin: 5 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	waitFor(t, 5*time.Second, "wrong key rejected and counted", func() bool {
+		return srv.AuthFailures() >= 1
+	})
+	bad.Close()
+
+	failsBefore := srv.AuthFailures()
+	plain, _ := DialCoordinator(srv.Addr().String(), "plain", CoordClientConfig{
+		Lease: 60 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+	})
+	waitFor(t, 5*time.Second, "keyless hello to a keyed coordinator rejected", func() bool {
+		return srv.AuthFailures() > failsBefore
+	})
+	plain.Close()
+
+	// The impostors never made it into the membership.
+	for _, n := range coord.Status() {
+		if n.Name != "good" {
+			t.Fatalf("unauthenticated node %q joined the cluster", n.Name)
+		}
+	}
+
+	// Keyed client, keyless coordinator: the dial must fail up front
+	// (no challenge ever arrives) rather than silently downgrade.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	open := ServeCoordinator(ln2, NewCoordinator(MMFSCPU(), 1000), CoordServerConfig{
+		Heartbeat: 10 * time.Millisecond,
+	})
+	defer open.Close()
+	c, err := DialCoordinator(open.Addr().String(), "keyed", CoordClientConfig{
+		Key: "sesame", DialTimeout: 200 * time.Millisecond,
+		RetryMin: 50 * time.Millisecond, RetryMax: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("keyed dial of a keyless coordinator succeeded")
+	}
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestReconnectJitterDeterministic pins the reconnect backoff contract:
+// the jitter stream is seeded from the worker name, so a given worker
+// waits the same schedule every run (reproducibility) while different
+// workers desynchronize (no thundering herd), and every wait stays
+// inside [d/2, d).
+func TestReconnectJitterDeterministic(t *testing.T) {
+	if fnv64a("alpha") == fnv64a("beta") {
+		t.Fatal("distinct names hash alike")
+	}
+	if fnv64a("alpha") != fnv64a("alpha") {
+		t.Fatal("name hash is unstable")
+	}
+	const d = 800 * time.Millisecond
+	seq := func(name string) []time.Duration {
+		rng := hash.NewXorShift(fnv64a(name))
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = backoffJitter(rng, d)
+		}
+		return out
+	}
+	a1, a2, b := seq("alpha"), seq("alpha"), seq("beta")
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same name, different jitter schedule")
+	}
+	if reflect.DeepEqual(a1, b) {
+		t.Fatal("different names, identical jitter schedule")
+	}
+	for i, w := range a1 {
+		if w < d/2 || w >= d {
+			t.Fatalf("wait %d = %v outside [%v, %v)", i, w, d/2, d)
+		}
+	}
+	// Degenerate durations pass through unjittered.
+	rng := hash.NewXorShift(1)
+	if got := backoffJitter(rng, 1); got != 1 {
+		t.Fatalf("sub-divisible duration jittered to %v", got)
+	}
+}
+
+// TestCheckpointCodecVersioning pins the snapshot/checkpoint codec's
+// sentinel discipline: undecodable streams are ErrSnapshotCorrupt,
+// decodable streams from unknown format versions are ErrSnapshotVersion,
+// and both match through errors.Is after wrapping.
+func TestCheckpointCodecVersioning(t *testing.T) {
+	if _, err := DecodeSnapshot(bytes.NewReader([]byte("garbage"))); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("garbage snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+	if _, err := DecodeShardCheckpoint(bytes.NewReader([]byte("garbage"))); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("garbage checkpoint: %v, want ErrSnapshotCorrupt", err)
+	}
+
+	encode := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(encode(&SystemSnapshot{Version: 99}))); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future snapshot version: %v, want ErrSnapshotVersion", err)
+	}
+	future := &ShardCheckpoint{Version: 99, Snap: &SystemSnapshot{Version: SnapshotFormatVersion}}
+	if _, err := DecodeShardCheckpoint(bytes.NewReader(encode(future))); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future checkpoint version: %v, want ErrSnapshotVersion", err)
+	}
+	mixed := &ShardCheckpoint{Version: CheckpointFormatVersion, Snap: &SystemSnapshot{Version: 99}}
+	if _, err := DecodeShardCheckpoint(bytes.NewReader(encode(mixed))); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future snapshot inside checkpoint: %v, want ErrSnapshotVersion", err)
+	}
+	headless := &ShardCheckpoint{Version: CheckpointFormatVersion}
+	if _, err := DecodeShardCheckpoint(bytes.NewReader(encode(headless))); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("snapshotless checkpoint: %v, want ErrSnapshotCorrupt", err)
+	}
+
+	// A real blob survives the round trip; its truncation does not.
+	spec := migrationSpec(1, 100)
+	sys, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	blob, err := (&ShardCheckpoint{Node: "n", Bin: 7, Spec: spec, Snap: snap}).EncodeBytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cp, err := DecodeShardCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if cp.Version != CheckpointFormatVersion || cp.Snap.Version != SnapshotFormatVersion {
+		t.Fatalf("round trip versions %d/%d", cp.Version, cp.Snap.Version)
+	}
+	if _, err := DecodeShardCheckpoint(bytes.NewReader(blob[:len(blob)/2])); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated checkpoint: %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestFaultCheckpointLossDeterministic pins the chaos schedule: a given
+// fault seed loses the same checkpoints every run (stored plus dropped
+// always totals sent), so checkpoint-loss scenarios replay exactly.
+func TestFaultCheckpointLossDeterministic(t *testing.T) {
+	run := func(seed uint64) (stored, dropped int64) {
+		coord := NewCoordinator(MMFSCPU(), 1000)
+		ft := NewFaultTransport(NewLoopback(coord, "w", 0), FaultConfig{
+			Seed: seed, CheckpointDrop: 0.5,
+		})
+		spec := migrationSpec(1, 100)
+		sys, err := spec.NewSystem()
+		if err != nil {
+			t.Fatalf("spec system: %v", err)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		for i := 0; i < 40; i++ {
+			cp := &ShardCheckpoint{Node: "w", Bin: int64(i), Spec: spec, Snap: snap}
+			if err := ft.Checkpoint(cp); err != nil {
+				t.Fatalf("checkpoint %d: %v", i, err)
+			}
+		}
+		return coord.CheckpointsStored(), ft.Stats().CheckpointsDropped
+	}
+	s1, d1 := run(7)
+	s2, d2 := run(7)
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("same seed diverged: stored %d/%d, dropped %d/%d", s1, s2, d1, d2)
+	}
+	if s1+d1 != 40 {
+		t.Fatalf("stored %d + dropped %d != 40 sent", s1, d1)
+	}
+	if s1 == 0 || d1 == 0 {
+		t.Fatalf("degenerate schedule at 50%% loss: stored %d, dropped %d", s1, d1)
+	}
+	if s3, d3 := run(8); s3 == s1 && d3 == d1 {
+		// Not impossible, but at 40 draws it means the schedule ignores
+		// the seed; the per-call fates would still differ, counts first.
+		t.Logf("seeds 7 and 8 produced identical counts (%d/%d); verify fate streams differ", s3, d3)
+	}
+}
+
+// TestAdoptOfferRotationAndRace drives planFailover on a synthetic
+// clock: no offer inside the grace window, one offer past it, re-offer
+// suppression while in flight, deterministic rotation to the next live
+// candidate after expiry, deliver-once loopback semantics, and
+// settlement when a worker dials in under the shard's name.
+func TestAdoptOfferRotationAndRace(t *testing.T) {
+	coord := NewCoordinator(MMFSCPU(), 1000)
+	for _, n := range []string{"s", "a", "b"} {
+		coord.Join(n, 0)
+		coord.Report(DemandReport{Node: n, Bin: 1, Demand: 100})
+	}
+	coord.StoreCheckpoint("s", 5, false, []byte("blob"))
+
+	t0 := time.Now()
+	coord.mu.Lock()
+	ns := coord.byName["s"]
+	ns.partitioned = true
+	ns.partitionedAt = t0
+	adopterB := coord.byName["b"]
+	coord.mu.Unlock()
+	const (
+		grace = 100 * time.Millisecond
+		ot    = 200 * time.Millisecond
+	)
+
+	if offers := coord.planFailover(t0.Add(grace/2), grace, ot); len(offers) != 0 {
+		t.Fatalf("offer inside the grace window: %+v", offers)
+	}
+	offers := coord.planFailover(t0.Add(grace), grace, ot)
+	if len(offers) != 1 || offers[0].Shard != "s" || offers[0].Adopter != "a" {
+		t.Fatalf("first offer %+v, want shard s to adopter a", offers)
+	}
+	if offers[0].Bin != 5 || !bytes.Equal(offers[0].Blob, []byte("blob")) {
+		t.Fatalf("offer carries bin %d blob %q", offers[0].Bin, offers[0].Blob)
+	}
+	issued := t0.Add(grace)
+	if offers := coord.planFailover(issued.Add(ot/2), grace, ot); len(offers) != 0 {
+		t.Fatalf("re-offer while one is in flight: %+v", offers)
+	}
+	offers = coord.planFailover(issued.Add(ot), grace, ot)
+	if len(offers) != 1 || offers[0].Adopter != "b" {
+		t.Fatalf("expired offer re-issued to %+v, want rotation to b", offers)
+	}
+	if got := coord.FailoverOffers(); got != 2 {
+		t.Fatalf("offer counter %d, want 2", got)
+	}
+
+	// Loopback delivery is at-most-once per issued offer.
+	if _, ok := coord.takeOfferFor(adopterB); !ok {
+		t.Fatal("adopter b sees no offer")
+	}
+	if _, ok := coord.takeOfferFor(adopterB); ok {
+		t.Fatal("offer delivered twice")
+	}
+
+	// The adopter dials in under the shard's name: the offer settles and
+	// the shard is live again — no further offers.
+	coord.Join("s", 0)
+	coord.Report(DemandReport{Node: "s", Bin: 6, Demand: 100})
+	if offers := coord.planFailover(issued.Add(10*ot), grace, ot); len(offers) != 0 {
+		t.Fatalf("settled shard re-offered: %+v", offers)
+	}
+}
+
+// TestMigrateDirectedOffer pins the planned-migration state machine:
+// Migrate validates its endpoints, raises the drain flag the transport
+// relays, and once the final checkpoint lands the shard is offered to
+// the directed target immediately — no grace window, no rotation.
+func TestMigrateDirectedOffer(t *testing.T) {
+	coord := NewCoordinator(MMFSCPU(), 1000)
+	for _, n := range []string{"s", "a", "b"} {
+		coord.Join(n, 0)
+		coord.Report(DemandReport{Node: n, Bin: 1, Demand: 100})
+	}
+	coord.Join("ghost", 0) // joined but never reported: not live
+
+	if err := coord.Migrate("nope", "a"); err == nil {
+		t.Fatal("migrate from an unknown shard")
+	}
+	if err := coord.Migrate("s", "nope"); err == nil {
+		t.Fatal("migrate to an unknown target")
+	}
+	if err := coord.Migrate("s", "s"); err == nil {
+		t.Fatal("migrate onto itself")
+	}
+	if err := coord.Migrate("s", "ghost"); err == nil {
+		t.Fatal("migrate to a never-live target")
+	}
+	if err := coord.Migrate("s", "b"); err != nil {
+		t.Fatalf("migrate s -> b: %v", err)
+	}
+	if d := coord.drainTargets(nil); len(d) != 1 || d[0] != "s" {
+		t.Fatalf("drain targets %v, want [s]", d)
+	}
+
+	// A non-final checkpoint (a periodic one racing the drain) does not
+	// trigger the directed offer; the final one does, instantly.
+	coord.StoreCheckpoint("s", 7, false, []byte("periodic"))
+	now := time.Now()
+	if offers := coord.planFailover(now, time.Hour, time.Hour); len(offers) != 0 {
+		t.Fatalf("offer before the final checkpoint: %+v", offers)
+	}
+	coord.StoreCheckpoint("s", 8, true, []byte("final"))
+	if d := coord.drainTargets(nil); len(d) != 0 {
+		t.Fatalf("drain still pending after the final checkpoint: %v", d)
+	}
+	offers := coord.planFailover(now, time.Hour, time.Hour)
+	if len(offers) != 1 || offers[0].Adopter != "b" || offers[0].Bin != 8 {
+		t.Fatalf("directed offer %+v, want shard s to b at bin 8", offers)
+	}
+	if !bytes.Equal(offers[0].Blob, []byte("final")) {
+		t.Fatalf("directed offer carries %q, want the final blob", offers[0].Blob)
+	}
+
+	// Target resumes under the shard's name: migration complete.
+	coord.Join("s", 0)
+	coord.Report(DemandReport{Node: "s", Bin: 9, Demand: 100})
+	if offers := coord.planFailover(now.Add(time.Hour), time.Hour, time.Minute); len(offers) != 0 {
+		t.Fatalf("completed migration re-offered: %+v", offers)
+	}
+}
+
+// TestStateDirSpillReload pins coordinator-restart durability: retained
+// checkpoints spill to the state directory, a fresh coordinator reloads
+// them as partitioned-pending shards, and the reloaded blob is the
+// retained one bit for bit.
+func TestStateDirSpillReload(t *testing.T) {
+	dir := t.TempDir()
+	spec := migrationSpec(1, 100)
+	sys, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	blob, err := (&ShardCheckpoint{Node: "shard-1", Bin: 12, Spec: spec, Snap: snap}).EncodeBytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	first := NewCoordinator(MMFSCPU(), 1000)
+	if err := first.SetStateDir(dir); err != nil {
+		t.Fatalf("state dir: %v", err)
+	}
+	first.StoreCheckpoint("shard-1", 12, false, blob)
+
+	second := NewCoordinator(MMFSCPU(), 1000)
+	if err := second.SetStateDir(dir); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	got, bin, ok := second.Checkpoint("shard-1")
+	if !ok || bin != 12 || !bytes.Equal(got, blob) {
+		t.Fatalf("reloaded checkpoint ok=%v bin=%d, %d bytes vs %d", ok, bin, len(got), len(blob))
+	}
+	st := second.Status()
+	if len(st) != 1 || st[0].Name != "shard-1" || !st[0].Partitioned {
+		t.Fatalf("reloaded shard status %+v, want a partitioned shard-1", st)
+	}
+	// With a live adopter present the reloaded shard becomes offerable
+	// once the grace window passes.
+	second.Join("helper", 0)
+	second.Report(DemandReport{Node: "helper", Bin: 1, Demand: 10})
+	waitFor(t, 5*time.Second, "reloaded shard offered", func() bool {
+		return len(second.PlanFailover(0, 0)) == 1
+	})
+}
+
+// TestChainedMigrationAbsoluteBins pins the bin coordinate system
+// across hops: a resumed Node counts its own run from zero, so without
+// BinOffset the second hop's checkpoint would carry a run-relative bin
+// and the third host would reposition the source wrongly. Two drains
+// deep, the digests must still match the uninterrupted run.
+func TestChainedMigrationAbsoluteBins(t *testing.T) {
+	const dur = 4 * time.Second
+	g := trace.NewGenerator(trace.CESCA2(9, dur, 0.4))
+	batches := trace.Record(g)
+	bin := g.TimeBin()
+	perInterval := int(time.Second / bin)
+	cut1, cut2 := perInterval, 3*perInterval
+	capacity := MeasureCapacity(trace.NewMemorySource(batches, bin), snapshotTestQueries(), 77) * 0.7
+	spec := migrationSpec(1, capacity)
+
+	sysRef, err := spec.NewSystem()
+	if err != nil {
+		t.Fatalf("spec system: %v", err)
+	}
+	want := binDigests(t, sysRef.Run(trace.NewMemorySource(batches, bin)).Bins)
+
+	// Hop 1: drain the original shard at the first interval boundary.
+	drain := func(sys *System, offset int64, drainAt int) *ShardCheckpoint {
+		t.Helper()
+		tr := &captureTransport{drainAfterBin: int64(drainAt)}
+		node := NewNode(sys, tr, NodeConfig{Name: "hop", Spec: spec, BinOffset: offset})
+		sink := newResultSink(Predictive)
+		src := trace.Source(trace.NewMemorySource(batches, bin))
+		if offset > 0 {
+			src = ResumeSource(src, offset)
+		}
+		if err := node.StreamContext(context.Background(), src, sink); err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if !node.Drained() {
+			t.Fatal("node finished instead of draining")
+		}
+		blobs := tr.checkpoints()
+		cp, err := DecodeShardCheckpoint(bytes.NewReader(blobs[len(blobs)-1]))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		want := want[offset:int64(drainAt)]
+		if got := binDigests(t, sink.res.Bins); !reflect.DeepEqual(got, want) {
+			t.Fatalf("hop bins [%d, %d) diverged", offset, drainAt)
+		}
+		return cp
+	}
+
+	sys1, _ := spec.NewSystem()
+	cp1 := drain(sys1, 0, cut1)
+	if cp1.Bin != int64(cut1) {
+		t.Fatalf("hop-1 checkpoint at bin %d, want %d", cp1.Bin, cut1)
+	}
+
+	// Hop 2: adopt, run to the next boundary, drain again. The drain
+	// threshold and the resulting checkpoint are both absolute bins —
+	// this is exactly what breaks without BinOffset.
+	sys2, err := cp1.Spec.NewSystem()
+	if err != nil {
+		t.Fatalf("rebuild hop 2: %v", err)
+	}
+	if err := sys2.Restore(cp1.Snap); err != nil {
+		t.Fatalf("restore hop 2: %v", err)
+	}
+	cp2 := drain(sys2, cp1.Bin, cut2)
+	if cp2.Bin != int64(cut2) {
+		t.Fatalf("hop-2 checkpoint at bin %d, want absolute %d", cp2.Bin, cut2)
+	}
+
+	// Hop 3: resume at the hop-2 checkpoint and finish the trace.
+	sys3, err := cp2.Spec.NewSystem()
+	if err != nil {
+		t.Fatalf("rebuild hop 3: %v", err)
+	}
+	if err := sys3.Restore(cp2.Snap); err != nil {
+		t.Fatalf("restore hop 3: %v", err)
+	}
+	r3 := sys3.Run(ResumeSource(trace.NewMemorySource(batches, bin), cp2.Bin))
+	if got := binDigests(t, r3.Bins); !reflect.DeepEqual(got, want[cut2:]) {
+		t.Fatalf("hop-3 bins [%d, %d) diverged", cut2, len(want))
+	}
+}

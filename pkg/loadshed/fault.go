@@ -33,6 +33,17 @@ type FaultConfig struct {
 	ReportDup   float64 // report delivered twice
 	GrantDrop   float64 // Grant() observes no fresh grant
 
+	// CheckpointDrop loses a checkpoint frame in flight: the node
+	// counts it sent, the coordinator never stores it. Failover then
+	// resumes from an older checkpoint — more bins replayed, same
+	// correctness.
+	CheckpointDrop float64
+	// AdoptDrop loses an adoption offer before the would-be adopter
+	// sees it; the coordinator re-offers after its offer timeout,
+	// rotating candidates — the adopt-race schedule the robustness
+	// suite pins.
+	AdoptDrop float64
+
 	// MaxDelay bounds how many subsequent Report calls a delayed
 	// report is held across. Default 3.
 	MaxDelay int
@@ -47,10 +58,12 @@ func (c FaultConfig) withDefaults() FaultConfig {
 
 // FaultStats counts the faults injected so far.
 type FaultStats struct {
-	ReportsDropped    int64
-	ReportsDelayed    int64
-	ReportsDuplicated int64
-	GrantsDropped     int64
+	ReportsDropped     int64
+	ReportsDelayed     int64
+	ReportsDuplicated  int64
+	GrantsDropped      int64
+	CheckpointsDropped int64
+	AdoptionsDropped   int64
 }
 
 // heldReport is a delayed report counting down to re-injection.
@@ -170,6 +183,60 @@ func (f *FaultTransport) Grant() (BudgetGrant, bool) {
 		return BudgetGrant{}, false
 	}
 	return f.inner.Grant()
+}
+
+// Checkpoint applies the checkpoint fate: delivered to the wrapped
+// transport (when it can carry one) or lost in flight. Loss looks like
+// success to the node, exactly as a frame dropped mid-link would.
+func (f *FaultTransport) Checkpoint(cp *ShardCheckpoint) error {
+	f.mu.Lock()
+	dropped := f.rng.Float64() < f.cfg.CheckpointDrop
+	if dropped {
+		f.stats.CheckpointsDropped++
+	}
+	f.mu.Unlock()
+	if dropped {
+		return nil
+	}
+	cs, ok := f.inner.(CheckpointSender)
+	if !ok {
+		return nil
+	}
+	return cs.Checkpoint(cp)
+}
+
+// DrainRequested passes the coordinator's drain signal through
+// unfaulted: the drain is re-signaled every poll anyway, so dropping it
+// would only test the retry we already rely on for checkpoints.
+func (f *FaultTransport) DrainRequested() bool {
+	ds, ok := f.inner.(DrainSignaler)
+	return ok && ds.DrainRequested()
+}
+
+// Adoption applies the adopt fate: an offer read from the wrapped
+// transport may vanish before the host sees it. The offer was consumed
+// — the coordinator believes it delivered — so recovery is its offer
+// timeout and re-offer rotation, which is the race this fault exists to
+// exercise.
+func (f *FaultTransport) Adoption() (AdoptOffer, bool) {
+	ar, ok := f.inner.(AdoptionReceiver)
+	if !ok {
+		return AdoptOffer{}, false
+	}
+	o, ok := ar.Adoption()
+	if !ok {
+		return AdoptOffer{}, false
+	}
+	f.mu.Lock()
+	dropped := f.rng.Float64() < f.cfg.AdoptDrop
+	if dropped {
+		f.stats.AdoptionsDropped++
+	}
+	f.mu.Unlock()
+	if dropped {
+		return AdoptOffer{}, false
+	}
+	return o, true
 }
 
 // Close closes the wrapped transport; held reports are discarded, as

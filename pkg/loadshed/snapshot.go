@@ -26,12 +26,30 @@ package loadshed
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/predict"
+)
+
+// SnapshotFormatVersion is the format version Encode stamps into every
+// snapshot. DecodeSnapshot refuses any other version: a checkpoint
+// written by a different build of the format must fail loudly at decode
+// time, not as a torn Restore deep inside the engine.
+const SnapshotFormatVersion = 1
+
+// Sentinel errors of the snapshot/checkpoint codec, matched with
+// errors.Is. Both wrap the underlying detail.
+var (
+	// ErrSnapshotVersion marks a snapshot or checkpoint whose format
+	// version this build does not read.
+	ErrSnapshotVersion = errors.New("unsupported snapshot format version")
+	// ErrSnapshotCorrupt marks a truncated or corrupt snapshot or
+	// checkpoint stream.
+	ErrSnapshotCorrupt = errors.New("corrupt or truncated snapshot")
 )
 
 // QuerySnapshot is the cross-interval state of one registered query.
@@ -58,6 +76,11 @@ type QuerySnapshot struct {
 // buffer loss, which JSON cannot carry), and install into a freshly
 // constructed System with the same Config and query set via Restore.
 type SystemSnapshot struct {
+	// Version is stamped by Encode with SnapshotFormatVersion and
+	// checked by DecodeSnapshot. A snapshot built in memory and passed
+	// straight to Restore may leave it zero.
+	Version int
+
 	Seed          uint64
 	PredictorKind string
 
@@ -80,27 +103,39 @@ type SystemSnapshot struct {
 	Queries []QuerySnapshot
 }
 
-// Encode writes the snapshot to w in gob encoding.
+// Encode writes the snapshot to w in gob encoding, stamping the current
+// SnapshotFormatVersion.
 func (snap *SystemSnapshot) Encode(w io.Writer) error {
+	snap.Version = SnapshotFormatVersion
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// DecodeSnapshot reads a snapshot written by Encode.
+// DecodeSnapshot reads a snapshot written by Encode. A truncated or
+// otherwise undecodable stream reports ErrSnapshotCorrupt; a decodable
+// stream from an unknown format version reports ErrSnapshotVersion.
+// Both are wrapped, so callers match with errors.Is.
 func DecodeSnapshot(r io.Reader) (*SystemSnapshot, error) {
 	snap := new(SystemSnapshot)
 	if err := gob.NewDecoder(r).Decode(snap); err != nil {
-		return nil, fmt.Errorf("loadshed: decode snapshot: %w", err)
+		return nil, fmt.Errorf("loadshed: decode snapshot: %w (%v)", ErrSnapshotCorrupt, err)
+	}
+	if snap.Version != SnapshotFormatVersion {
+		return nil, fmt.Errorf("loadshed: decode snapshot: %w (stream has v%d, this build reads v%d)",
+			ErrSnapshotVersion, snap.Version, SnapshotFormatVersion)
 	}
 	return snap, nil
 }
 
 // Snapshot checkpoints the system's cross-interval state. It must be
-// called between runs (never while Run/Stream is in flight): the
-// between-runs quiesce point is what keeps interval-scoped state out of
-// the snapshot. Custom-shedding systems are not snapshottable — their
-// per-query shedding state lives inside the query implementations,
-// outside the engine's reach — and neither is a system with registry
-// ops still queued (apply them with a run, or snapshot before queuing).
+// called at a quiesce point: between runs, or from a runner boundary
+// hook at a measurement-interval boundary — the two points where every
+// bin of the closing interval is flushed and interval-scoped state
+// carries nothing forward (the hook fires before startInterval rotates
+// extractors, matching the between-runs shape exactly). Custom-shedding
+// systems are not snapshottable — their per-query shedding state lives
+// inside the query implementations, outside the engine's reach — and
+// neither is a system with registry ops still queued (apply them with a
+// run, or snapshot before queuing).
 func (s *System) Snapshot() (*SystemSnapshot, error) {
 	if s.manager != nil {
 		return nil, fmt.Errorf("loadshed: snapshot: custom shedding state is query-owned and not snapshottable")

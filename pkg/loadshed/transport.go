@@ -22,16 +22,34 @@ package loadshed
 //
 // Wire format (all integers little-endian, floats IEEE-754 bits):
 //
-//	frame   := u16 payloadLen | payload
-//	hello   := u8 0x01 | u8 nameLen | name | f64 minShare
-//	report  := u8 0x02 | i64 bin | f64 demand | f64 minShare | u8 flags   (flags bit0 = done)
-//	grant   := u8 0x03 | u64 round | f64 capacity
+//	frame      := u16 payloadLen | payload
+//	hello      := u8 0x01 | u8 nameLen | name | f64 minShare
+//	report     := u8 0x02 | i64 bin | f64 demand | f64 minShare | u8 flags   (flags bit0 = done)
+//	grant      := u8 0x03 | u64 round | f64 capacity
+//	checkpoint := u8 0x04 | i64 bin | u8 flags | u32 blobLen                 (flags bit0 = final)
+//	adopt      := u8 0x05 | u8 nameLen | name | i64 bin | u32 blobLen
+//	helloAuth  := u8 0x06 | u8 nameLen | name | f64 minShare | mac[32]
+//	drain      := u8 0x07
+//	challenge  := u8 0x08 | nonce[16]
 //
 // Reports and grants never carry the node name: the hello binds the
-// connection to a name and everything after inherits it.
+// connection to a name and everything after inherits it. Checkpoint and
+// adopt frames are headers only — the gob ShardCheckpoint blob follows
+// raw on the stream, blobLen bytes, because a snapshot does not fit the
+// u16 frame cap.
+//
+// Authentication is a pre-shared-key challenge: a keyed coordinator
+// sends a challenge frame on accept and requires the hello in helloAuth
+// form, mac = HMAC-SHA256(key, nonce || helloPayload[:len-32]). Keyless
+// deployments keep the original byte stream exactly (plain hello, no
+// challenge). A mismatch on either side rejects the connection and
+// bumps the server's auth-failure counter.
 
 import (
 	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,6 +59,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	ihash "repro/internal/hash"
 )
 
 // DemandReport is a node's per-bin message to the coordinator: the
@@ -76,6 +96,29 @@ type NodeTransport interface {
 	Close() error
 }
 
+// CheckpointSender is the optional transport extension a Node uses to
+// ship shard checkpoints to the coordinator. Checkpointing is as
+// advisory as reporting: errors count, nothing stops.
+type CheckpointSender interface {
+	Checkpoint(cp *ShardCheckpoint) error
+}
+
+// DrainSignaler is the optional transport extension relaying the
+// coordinator's drain request (planned migration): when it reports
+// true, the Node checkpoints with Final set at its next interval
+// boundary and stops.
+type DrainSignaler interface {
+	DrainRequested() bool
+}
+
+// AdoptionReceiver is the optional transport extension surfacing
+// adoption offers to the hosting process (not the Node — adopting means
+// building a new System next to the existing one, which is the host's
+// job; see cmd/lsd). Adoption returns a pending offer at most once.
+type AdoptionReceiver interface {
+	Adoption() (AdoptOffer, bool)
+}
+
 // loopbackTransport binds a node to an in-process Coordinator by
 // membership handle, so delivery is a method call and two shards may
 // even share a display name without colliding.
@@ -99,19 +142,61 @@ func (t *loopbackTransport) Report(r DemandReport) error {
 
 func (t *loopbackTransport) Grant() (BudgetGrant, bool) { return t.coord.grantFor(t.node) }
 
+// Checkpoint retains the encoded checkpoint directly on the in-process
+// coordinator (addressed by handle, like reports).
+func (t *loopbackTransport) Checkpoint(cp *ShardCheckpoint) error {
+	blob, err := cp.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	t.coord.storeCheckpointNode(t.node, cp.Bin, cp.Final, blob)
+	return nil
+}
+
+// DrainRequested polls the coordinator's drain flag for this node.
+func (t *loopbackTransport) DrainRequested() bool {
+	return t.coord.drainRequestedNode(t.node)
+}
+
+// Adoption polls the coordinator for an offer addressed to this node —
+// the in-process delivery of what the TCP server pushes as adopt frames.
+func (t *loopbackTransport) Adoption() (AdoptOffer, bool) {
+	return t.coord.takeOfferFor(t.node)
+}
+
 func (t *loopbackTransport) Close() error { return nil }
 
 // --- wire encoding ---
 
 const (
-	coordMsgHello  = 0x01
-	coordMsgReport = 0x02
-	coordMsgGrant  = 0x03
+	coordMsgHello      = 0x01
+	coordMsgReport     = 0x02
+	coordMsgGrant      = 0x03
+	coordMsgCheckpoint = 0x04
+	coordMsgAdopt      = 0x05
+	coordMsgHelloAuth  = 0x06
+	coordMsgDrain      = 0x07
+	coordMsgChallenge  = 0x08
 
 	reportFlagDone = 0x01
+	ckptFlagFinal  = 0x01
 
 	// coordMaxName bounds worker names on the wire (u8 length).
 	coordMaxName = 255
+
+	// coordNonceLen/coordMACLen size the auth challenge and its
+	// HMAC-SHA256 response.
+	coordNonceLen = 16
+	coordMACLen   = sha256.Size
+
+	// maxCheckpointBytes bounds the raw blob a checkpoint or adopt
+	// header may announce; anything larger is a protocol violation and
+	// the connection dies.
+	maxCheckpointBytes = 64 << 20
+
+	// ckptRecvTimeout bounds reading a checkpoint blob once its header
+	// arrived (the header promised blobLen bytes are already in flight).
+	ckptRecvTimeout = 30 * time.Second
 )
 
 // ErrCoordinatorUnreachable is returned by CoordClient.Report while no
@@ -159,6 +244,67 @@ func appendGrantFrame(dst []byte, g BudgetGrant) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, g.Round)
 		return appendF64(dst, g.Capacity)
 	})
+}
+
+// appendCheckpointFrame builds the checkpoint header; the caller writes
+// blobLen raw blob bytes right after the frame.
+func appendCheckpointFrame(dst []byte, bin int64, final bool, blobLen int) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgCheckpoint)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(bin))
+		var flags byte
+		if final {
+			flags |= ckptFlagFinal
+		}
+		dst = append(dst, flags)
+		return binary.LittleEndian.AppendUint32(dst, uint32(blobLen))
+	})
+}
+
+// appendAdoptFrame builds the adopt header; the caller appends blobLen
+// raw blob bytes right after the frame (one write, so grant pushes
+// cannot interleave).
+func appendAdoptFrame(dst []byte, shard string, bin int64, blobLen int) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgAdopt, byte(len(shard)))
+		dst = append(dst, shard...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(bin))
+		return binary.LittleEndian.AppendUint32(dst, uint32(blobLen))
+	})
+}
+
+func appendDrainFrame(dst []byte) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		return append(dst, coordMsgDrain)
+	})
+}
+
+func appendChallengeFrame(dst []byte, nonce []byte) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		dst = append(dst, coordMsgChallenge)
+		return append(dst, nonce...)
+	})
+}
+
+// appendHelloAuthFrame is the hello in authenticated form: the plain
+// hello payload followed by HMAC-SHA256(key, nonce || payload).
+func appendHelloAuthFrame(dst []byte, name string, minShare float64, key string, nonce []byte) []byte {
+	return appendU16Frame(dst, func(dst []byte) []byte {
+		start := len(dst)
+		dst = append(dst, coordMsgHelloAuth, byte(len(name)))
+		dst = append(dst, name...)
+		dst = appendF64(dst, minShare)
+		mac := helloMAC(key, nonce, dst[start:])
+		return append(dst, mac...)
+	})
+}
+
+// helloMAC computes HMAC-SHA256(key, nonce || payload).
+func helloMAC(key string, nonce, payload []byte) []byte {
+	h := hmac.New(sha256.New, []byte(key))
+	h.Write(nonce)
+	h.Write(payload)
+	return h.Sum(nil)
 }
 
 // readCoordFrame reads one length-prefixed frame into buf (grown as
@@ -215,6 +361,49 @@ func decodeGrant(p []byte) (BudgetGrant, bool) {
 	}, true
 }
 
+// decodeHelloAuth verifies and decodes an authenticated hello against
+// the server's key and the nonce it challenged with.
+func decodeHelloAuth(p []byte, key string, nonce []byte) (name string, minShare float64, ok bool) {
+	if len(p) < 2+8+coordMACLen {
+		return "", 0, false
+	}
+	nl := int(p[1])
+	if len(p) != 2+nl+8+coordMACLen {
+		return "", 0, false
+	}
+	body, mac := p[:len(p)-coordMACLen], p[len(p)-coordMACLen:]
+	if !hmac.Equal(mac, helloMAC(key, nonce, body)) {
+		return "", 0, false
+	}
+	name = string(p[2 : 2+nl])
+	minShare = math.Float64frombits(binary.LittleEndian.Uint64(p[2+nl:]))
+	return name, minShare, name != ""
+}
+
+func decodeCheckpointHdr(p []byte) (bin int64, final bool, blobLen int, ok bool) {
+	if len(p) != 1+8+1+4 {
+		return 0, false, 0, false
+	}
+	bin = int64(binary.LittleEndian.Uint64(p[1:]))
+	final = p[9]&ckptFlagFinal != 0
+	blobLen = int(binary.LittleEndian.Uint32(p[10:]))
+	return bin, final, blobLen, blobLen <= maxCheckpointBytes
+}
+
+func decodeAdoptHdr(p []byte) (shard string, bin int64, blobLen int, ok bool) {
+	if len(p) < 2+8+4 {
+		return "", 0, 0, false
+	}
+	nl := int(p[1])
+	if len(p) != 2+nl+8+4 {
+		return "", 0, 0, false
+	}
+	shard = string(p[2 : 2+nl])
+	bin = int64(binary.LittleEndian.Uint64(p[2+nl:]))
+	blobLen = int(binary.LittleEndian.Uint32(p[2+nl+8:]))
+	return shard, bin, blobLen, shard != "" && blobLen <= maxCheckpointBytes
+}
+
 // --- TCP server (coordinator side) ---
 
 // CoordServerConfig tunes the coordinator's heartbeat state machine.
@@ -228,6 +417,18 @@ type CoordServerConfig struct {
 	// survivors). Default 3×Heartbeat. Workers use the same value to
 	// judge grant freshness, so keep the two sides configured alike.
 	Lease time.Duration
+	// Grace is how long past the lease a partitioned shard waits before
+	// its checkpoint is offered for adoption — the window in which a
+	// transient stall rejoins without a failover. Default 2×Lease.
+	Grace time.Duration
+	// OfferTimeout is how long an issued adoption offer suppresses
+	// re-offering; past it the shard re-offers to the next live
+	// candidate. Default 2×Lease.
+	OfferTimeout time.Duration
+	// Key enables pre-shared-key authentication: connections must answer
+	// the HMAC-SHA256 challenge or are rejected (and counted). Empty
+	// keeps the unauthenticated protocol byte-for-byte.
+	Key string
 }
 
 func (c CoordServerConfig) withDefaults() CoordServerConfig {
@@ -236,6 +437,12 @@ func (c CoordServerConfig) withDefaults() CoordServerConfig {
 	}
 	if c.Lease <= 0 {
 		c.Lease = 3 * c.Heartbeat
+	}
+	if c.Grace <= 0 {
+		c.Grace = 2 * c.Lease
+	}
+	if c.OfferTimeout <= 0 {
+		c.OfferTimeout = 2 * c.Lease
 	}
 	return c
 }
@@ -255,7 +462,13 @@ type CoordServer struct {
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	closing atomic.Bool
+
+	authFailures atomic.Int64
 }
+
+// AuthFailures returns how many connections failed the pre-shared-key
+// handshake (lsd_coord_auth_failures_total).
+func (s *CoordServer) AuthFailures() int64 { return s.authFailures.Load() }
 
 // coordConn serializes grant pushes to one worker connection.
 type coordConn struct {
@@ -327,15 +540,50 @@ func (s *CoordServer) handleConn(c net.Conn) {
 	defer s.wg.Done()
 	br := bufio.NewReaderSize(c, 512)
 
+	// A keyed server opens with a challenge; the hello must then arrive
+	// in authenticated form. Keyless servers never write the challenge,
+	// keeping the original byte stream exactly.
+	var nonce []byte
+	if s.cfg.Key != "" {
+		nonce = make([]byte, coordNonceLen)
+		if _, err := rand.Read(nonce); err != nil {
+			c.Close()
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Write(appendChallengeFrame(nil, nonce)); err != nil {
+			c.Close()
+			return
+		}
+		c.SetWriteDeadline(time.Time{})
+	}
+
 	// The hello must arrive promptly; everything after is paced by the
 	// worker's bins, so no deadline applies to the report stream.
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	frame, err := readCoordFrame(br, nil)
-	if err != nil || len(frame) < 1 || frame[0] != coordMsgHello {
+	if err != nil || len(frame) < 1 {
 		c.Close()
 		return
 	}
-	name, minShare, ok := decodeHello(frame)
+	var (
+		name     string
+		minShare float64
+		ok       bool
+	)
+	switch {
+	case s.cfg.Key == "" && frame[0] == coordMsgHello:
+		name, minShare, ok = decodeHello(frame)
+	case s.cfg.Key != "" && frame[0] == coordMsgHelloAuth:
+		name, minShare, ok = decodeHelloAuth(frame, s.cfg.Key, nonce)
+		if !ok {
+			s.authFailures.Add(1) // bad MAC: wrong key
+		}
+	case frame[0] == coordMsgHello || frame[0] == coordMsgHelloAuth:
+		// Keyed server got a plain hello, or keyless got an authenticated
+		// one: a key mismatch between the two sides either way.
+		s.authFailures.Add(1)
+	}
 	if !ok {
 		c.Close()
 		return
@@ -351,16 +599,35 @@ func (s *CoordServer) handleConn(c net.Conn) {
 	s.conns[name] = cc
 	s.mu.Unlock()
 
+readLoop:
 	for {
 		frame, err = readCoordFrame(br, frame)
 		if err != nil {
 			break
 		}
-		if len(frame) >= 1 && frame[0] == coordMsgReport {
+		if len(frame) < 1 {
+			continue
+		}
+		switch frame[0] {
+		case coordMsgReport:
 			if r, ok := decodeReport(frame); ok {
 				r.Node = name
 				s.coord.Report(r)
 			}
+		case coordMsgCheckpoint:
+			bin, final, blobLen, ok := decodeCheckpointHdr(frame)
+			if !ok {
+				break readLoop // oversized or malformed header: protocol violation
+			}
+			// The blob follows raw; it was fully serialized before the
+			// header was sent, so a bounded deadline is safe.
+			blob := make([]byte, blobLen)
+			c.SetReadDeadline(time.Now().Add(ckptRecvTimeout))
+			if _, err = io.ReadFull(br, blob); err != nil {
+				break readLoop
+			}
+			c.SetReadDeadline(time.Time{})
+			s.coord.StoreCheckpoint(name, bin, final, blob)
 		}
 	}
 
@@ -378,6 +645,7 @@ func (s *CoordServer) heartbeatLoop() {
 	defer ticker.Stop()
 	var grants []BudgetGrant
 	var frame []byte
+	var drains []string
 	for {
 		select {
 		case <-s.quit:
@@ -398,6 +666,45 @@ func (s *CoordServer) heartbeatLoop() {
 				cc.c.Close() // reader notices and unregisters
 			}
 		}
+		// Relay pending drains. The frame re-sends every heartbeat until
+		// the final checkpoint lands (idempotent on the worker side), so
+		// a lost frame only delays the drain one heartbeat.
+		drains = s.coord.drainTargets(drains)
+		for _, name := range drains {
+			s.mu.Lock()
+			cc := s.conns[name]
+			s.mu.Unlock()
+			if cc == nil {
+				continue
+			}
+			frame = appendDrainFrame(frame[:0])
+			if cc.send(frame, s.cfg.Heartbeat) != nil {
+				cc.c.Close()
+			}
+		}
+		// Push adoption offers for orphaned shards. Header and blob go
+		// in one send so grant pushes cannot interleave mid-blob. A
+		// failed or undeliverable push withdraws the offer, so the next
+		// heartbeat re-plans instead of waiting out the offer timeout.
+		for _, o := range s.coord.PlanFailover(s.cfg.Grace, s.cfg.OfferTimeout) {
+			s.mu.Lock()
+			cc := s.conns[o.Adopter]
+			s.mu.Unlock()
+			if cc == nil {
+				s.coord.clearOffer(o.Shard)
+				continue
+			}
+			buf := appendAdoptFrame(nil, o.Shard, o.Bin, len(o.Blob))
+			buf = append(buf, o.Blob...)
+			timeout := s.cfg.Heartbeat
+			if timeout < 2*time.Second {
+				timeout = 2 * time.Second // blobs outweigh grant frames
+			}
+			if cc.send(buf, timeout) != nil {
+				cc.c.Close()
+				s.coord.clearOffer(o.Shard)
+			}
+		}
 	}
 }
 
@@ -416,8 +723,16 @@ type CoordClientConfig struct {
 	// write. Default 2s.
 	DialTimeout time.Duration
 	// RetryMin/RetryMax bound the reconnect backoff. Defaults 100ms/2s.
+	// Each wait is jittered to [backoff/2, backoff), with the jitter
+	// stream seeded from the worker name, so a fleet that lost its
+	// coordinator does not redial in lockstep yet every run of a given
+	// worker waits the same deterministic schedule.
 	RetryMin time.Duration
 	RetryMax time.Duration
+	// Key must match the coordinator's -cluster-key when it has one:
+	// the client then answers the server's HMAC-SHA256 challenge in its
+	// hello. Empty speaks the unauthenticated protocol.
+	Key string
 }
 
 func (c CoordClientConfig) withDefaults() CoordClientConfig {
@@ -457,6 +772,14 @@ type CoordClient struct {
 	closed     atomic.Bool
 	connected  atomic.Bool
 	reconnects atomic.Int64
+
+	// Failover surface: pushed adoption offers queue here for the host
+	// process; drainReq latches a pushed drain frame for the Node's
+	// boundary hook. rng drives the reconnect jitter.
+	adoptCh      chan AdoptOffer
+	adoptDropped atomic.Int64
+	drainReq     atomic.Bool
+	rng          *ihash.XorShift
 }
 
 // DialCoordinator connects a worker named name to the coordinator at
@@ -470,11 +793,36 @@ func DialCoordinator(addr, name string, cfg CoordClientConfig) (*CoordClient, er
 	if name == "" || len(name) > coordMaxName {
 		return nil, fmt.Errorf("loadshed: worker name must be 1..%d bytes, got %d", coordMaxName, len(name))
 	}
-	c := &CoordClient{addr: addr, name: name, cfg: cfg.withDefaults(), quit: make(chan struct{})}
+	c := &CoordClient{
+		addr: addr, name: name, cfg: cfg.withDefaults(), quit: make(chan struct{}),
+		adoptCh: make(chan AdoptOffer, 8),
+		rng:     ihash.NewXorShift(fnv64a(name)),
+	}
 	err := c.connect()
 	c.wg.Add(1)
 	go c.maintain()
 	return c, err
+}
+
+// fnv64a hashes a worker name into its jitter seed (FNV-1a).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// backoffJitter spreads a backoff wait over [d/2, d), drawn from the
+// client's name-seeded stream: deterministic per worker, decorrelated
+// across a fleet.
+func backoffJitter(rng *ihash.XorShift, d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Float64()*float64(d-half))
 }
 
 // Name returns the worker name announced to the coordinator.
@@ -499,7 +847,21 @@ func (c *CoordClient) connect() error {
 	if err != nil {
 		return err
 	}
-	hello := appendHelloFrame(nil, c.name, c.cfg.MinShare)
+	var hello []byte
+	if c.cfg.Key != "" {
+		// A keyed client expects the challenge before anything else. The
+		// frame is read with exact reads straight off the conn — no
+		// bufio, so no read-ahead swallows bytes that belong to the
+		// grant stream readGrants will own.
+		nonce, err := readChallengeConn(conn, c.cfg.DialTimeout)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("loadshed: coordinator auth: %w (keyless coordinator or wrong address?)", err)
+		}
+		hello = appendHelloAuthFrame(nil, c.name, c.cfg.MinShare, c.cfg.Key, nonce)
+	} else {
+		hello = appendHelloFrame(nil, c.name, c.cfg.MinShare)
+	}
 	conn.SetWriteDeadline(time.Now().Add(c.cfg.DialTimeout))
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
@@ -511,6 +873,26 @@ func (c *CoordClient) connect() error {
 	c.mu.Unlock()
 	c.connected.Store(true)
 	return nil
+}
+
+// readChallengeConn reads the server's challenge frame with exact reads
+// on the bare connection and returns the nonce.
+func readChallengeConn(conn net.Conn, timeout time.Duration) ([]byte, error) {
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	defer conn.SetReadDeadline(time.Time{})
+	var hdr [2]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("no challenge: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[:]))
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, fmt.Errorf("truncated challenge: %w", err)
+	}
+	if n != 1+coordNonceLen || payload[0] != coordMsgChallenge {
+		return nil, errors.New("unexpected frame where challenge expected")
+	}
+	return payload[1:], nil
 }
 
 func (c *CoordClient) current() net.Conn {
@@ -538,7 +920,7 @@ func (c *CoordClient) maintain() {
 			select {
 			case <-c.quit:
 				return
-			case <-time.After(backoff):
+			case <-time.After(backoffJitter(c.rng, backoff)):
 			}
 			backoff *= 2
 			if backoff > c.cfg.RetryMax {
@@ -555,7 +937,9 @@ func (c *CoordClient) maintain() {
 	}
 }
 
-// readGrants drains grant frames from conn into the leased local copy.
+// readGrants drains coordinator pushes from conn: grants into the
+// leased local copy, drain requests into the latch, adoption offers
+// (header + raw blob) into the host's queue.
 func (c *CoordClient) readGrants(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 256)
 	var buf []byte
@@ -565,13 +949,35 @@ func (c *CoordClient) readGrants(conn net.Conn) {
 			return
 		}
 		buf = frame
-		if len(frame) >= 1 && frame[0] == coordMsgGrant {
+		if len(frame) < 1 {
+			continue
+		}
+		switch frame[0] {
+		case coordMsgGrant:
 			if g, ok := decodeGrant(frame); ok {
 				g.Node = c.name
 				c.mu.Lock()
 				c.grant = g
 				c.grantAt = time.Now()
 				c.mu.Unlock()
+			}
+		case coordMsgDrain:
+			c.drainReq.Store(true)
+		case coordMsgAdopt:
+			shard, bin, blobLen, ok := decodeAdoptHdr(frame)
+			if !ok {
+				return // malformed push: drop the conn, redial clean
+			}
+			blob := make([]byte, blobLen)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				return
+			}
+			select {
+			case c.adoptCh <- AdoptOffer{Shard: shard, Bin: bin, Checkpoint: blob}:
+			default:
+				// Queue full: drop; the coordinator re-offers after its
+				// offer timeout, and likely elsewhere.
+				c.adoptDropped.Add(1)
 			}
 		}
 	}
@@ -596,6 +1002,56 @@ func (c *CoordClient) Report(r DemandReport) error {
 	}
 	return err
 }
+
+// Checkpoint ships a shard checkpoint to the coordinator: the header
+// frame and the gob blob in one locked write, so report frames cannot
+// interleave. While disconnected it returns ErrCoordinatorUnreachable
+// — checkpointing is advisory and the next boundary retries.
+func (c *CoordClient) Checkpoint(cp *ShardCheckpoint) error {
+	blob, err := cp.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	if len(blob) > maxCheckpointBytes {
+		return fmt.Errorf("loadshed: checkpoint blob %d bytes exceeds the %d wire cap", len(blob), maxCheckpointBytes)
+	}
+	c.mu.Lock()
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		return ErrCoordinatorUnreachable
+	}
+	c.wbuf = appendCheckpointFrame(c.wbuf[:0], cp.Bin, cp.Final, len(blob))
+	c.wbuf = append(c.wbuf, blob...)
+	conn.SetWriteDeadline(time.Now().Add(ckptRecvTimeout))
+	_, err = conn.Write(c.wbuf)
+	conn.SetWriteDeadline(time.Time{})
+	c.mu.Unlock()
+	if err != nil {
+		c.drop(conn)
+	}
+	return err
+}
+
+// DrainRequested reports whether the coordinator pushed a drain frame
+// on this link (it latches; the worker process is expected to act once
+// and exit the shard).
+func (c *CoordClient) DrainRequested() bool { return c.drainReq.Load() }
+
+// Adoption returns a pending adoption offer, if any (non-blocking; each
+// offer is returned once).
+func (c *CoordClient) Adoption() (AdoptOffer, bool) {
+	select {
+	case o := <-c.adoptCh:
+		return o, true
+	default:
+		return AdoptOffer{}, false
+	}
+}
+
+// Adoptions exposes the offer queue for select-based hosts (cmd/lsd's
+// adoption loop); Adoption and Adoptions drain the same queue.
+func (c *CoordClient) Adoptions() <-chan AdoptOffer { return c.adoptCh }
 
 // Grant returns the latest pushed grant while it is lease-fresh.
 func (c *CoordClient) Grant() (BudgetGrant, bool) {

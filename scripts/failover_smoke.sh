@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Failover smoke: boot a PSK-authenticated coordinator with a state
+# directory and two checkpointing workers, wait for durable checkpoints
+# to land, kill -9 one worker and require the survivor to adopt its
+# shard from the last checkpoint, then live-migrate the adopted shard
+# onto a third worker via POST /cluster/migrate, reject a keyless rogue
+# worker, require -join-timeout to fail fast against a dead
+# coordinator, and finally SIGTERM everything and require clean exits.
+# Run from the repository root.
+set -euo pipefail
+
+BIN=${BIN:-/tmp/lsd-failover-smoke}
+COORD=127.0.0.1:19900
+ADMIN_C=127.0.0.1:19901
+ADMIN_A=127.0.0.1:19902
+ADMIN_B=127.0.0.1:19903
+ADMIN_G=127.0.0.1:19904
+ADMIN_R=127.0.0.1:19905
+KEY=smoke-secret
+TOTAL=2e6
+STATE_DIR=$(mktemp -d /tmp/lsd-failover-state.XXXXXX)
+
+go build -o "$BIN" ./cmd/lsd
+
+wait_http() { # url
+  for _ in $(seq 1 50); do
+    curl -sf "$1" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "FAIL: $1 never came up"
+  return 1
+}
+
+wait_cluster() { # grep pattern over the /cluster JSON
+  for _ in $(seq 1 75); do
+    curl -sf "http://$ADMIN_C/cluster" 2>/dev/null | grep -q "$1" && return 0
+    sleep 0.2
+  done
+  echo "FAIL: /cluster never showed $1; last state:"
+  curl -sf "http://$ADMIN_C/cluster" || true
+  return 1
+}
+
+metric() { # admin addr, exact metric name -> value (empty if absent)
+  curl -sf "http://$1/metrics" | awk -v n="$2" '$1 == n { print $2 }'
+}
+
+wait_metric_ge() { # admin addr, metric name, threshold
+  local v=""
+  for _ in $(seq 1 75); do
+    v=$(metric "$1" "$2")
+    if [ -n "$v" ] && awk -v a="$v" -v b="$3" 'BEGIN { exit !(a >= b) }'; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $2 on $1 never reached $3 (last: ${v:-absent})"
+  return 1
+}
+
+# Coordinator: PSK-authenticated, fast heartbeat so partition detection
+# and the 1s failover grace stay inside the polling deadlines, durable
+# checkpoints spilled to a state directory.
+"$BIN" -coordinator "$COORD" -shard-policy mmfs_cpu -capacity "$TOTAL" \
+  -heartbeat 100ms -grace 1s -cluster-key "$KEY" -state-dir "$STATE_DIR" \
+  -serve "$ADMIN_C" &
+COORD_PID=$!
+A_PID=""; B_PID=""; G_PID=""; R_PID=""
+trap 'kill "$COORD_PID" $A_PID $B_PID $G_PID $R_PID 2>/dev/null || true; rm -rf "$STATE_DIR"' EXIT
+wait_http "http://$ADMIN_C/healthz"
+
+# Two checkpointing workers. Checkpoints require the base shedding
+# plane (-custom=false): custom-query state lives outside the snapshot.
+worker() { # node name, admin addr
+  "$BIN" -worker "$COORD" -node "$1" -capacity 60000 -cluster-key "$KEY" \
+    -checkpoint-every 2 -custom=false -serve "$2" &
+}
+worker alpha "$ADMIN_A"; A_PID=$!
+worker beta "$ADMIN_B"; B_PID=$!
+wait_http "http://$ADMIN_A/readyz"
+wait_http "http://$ADMIN_B/readyz"
+wait_cluster '"name":"alpha"'
+wait_cluster '"name":"beta"'
+
+# Durable checkpoints land: shipped by the workers, retained by the
+# coordinator, spilled to the state directory.
+wait_metric_ge "$ADMIN_A" lsd_checkpoints_total 1
+wait_metric_ge "$ADMIN_C" lsd_cluster_checkpoints_total 2
+wait_metric_ge "$ADMIN_C" 'lsd_node_checkpoint_bin{node="beta"}' 0
+ls "$STATE_DIR"/*.ckpt >/dev/null 2>&1 \
+  || { echo "FAIL: no checkpoint spilled to $STATE_DIR"; exit 1; }
+
+# Crash failover: hard-kill beta. Past lease + grace the coordinator
+# offers beta's shard (checkpoint included) to the survivor, which
+# resumes it under the dead shard's name — beta reports live again
+# without its process existing.
+kill -9 "$B_PID"; wait "$B_PID" 2>/dev/null || true; B_PID=""
+wait_cluster '"name":"beta"[^}]*"partitioned":true'
+wait_metric_ge "$ADMIN_A" lsd_adopted_shards 1
+wait_metric_ge "$ADMIN_C" lsd_cluster_failover_offers_total 1
+wait_cluster '"name":"beta"[^}]*"partitioned":false'
+
+# Planned migration: a third worker joins, then /cluster/migrate moves
+# the adopted beta shard onto it — source drains at a bin boundary,
+# final checkpoint transfers, target resumes.
+worker gamma "$ADMIN_G"; G_PID=$!
+wait_http "http://$ADMIN_G/readyz"
+wait_cluster '"name":"gamma"'
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "from=beta&to=gamma" "http://$ADMIN_C/cluster/migrate")
+[ "$code" = 202 ] || { echo "FAIL: /cluster/migrate returned $code"; exit 1; }
+wait_metric_ge "$ADMIN_G" lsd_adopted_shards 1
+for _ in $(seq 1 75); do
+  [ "$(metric "$ADMIN_A" lsd_adopted_shards)" = 0 ] && break
+  sleep 0.2
+done
+[ "$(metric "$ADMIN_A" lsd_adopted_shards)" = 0 ] \
+  || { echo "FAIL: source never released the migrated shard"; exit 1; }
+wait_cluster '"name":"beta"[^}]*"partitioned":false'
+
+# Bad migrations are rejected up front.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d "from=beta&to=beta" "http://$ADMIN_C/cluster/migrate")
+[ "$code" = 400 ] || { echo "FAIL: self-migration accepted ($code)"; exit 1; }
+
+# Auth: a keyless rogue worker is rejected and counted; it never joins.
+"$BIN" -worker "$COORD" -node rogue -capacity 60000 -serve "$ADMIN_R" &
+R_PID=$!
+wait_metric_ge "$ADMIN_C" lsd_coord_auth_failures_total 1
+curl -sf "http://$ADMIN_C/cluster" | grep -q '"name":"rogue"' \
+  && { echo "FAIL: unauthenticated worker joined the cluster"; exit 1; }
+kill -9 "$R_PID"; wait "$R_PID" 2>/dev/null || true; R_PID=""
+
+# Join timeout: a worker aimed at a dead coordinator must exit nonzero
+# within its -join-timeout instead of redialing forever.
+if "$BIN" -worker 127.0.0.1:9 -node lost -capacity 60000 \
+    -join-timeout 1s -serve 127.0.0.1:19906 >/dev/null 2>&1; then
+  echo "FAIL: worker with a dead coordinator exited zero"
+  exit 1
+fi
+
+# Clean shutdown: SIGTERM each worker (alpha waits out its adopted
+# shards), then the coordinator; every process must exit 0 in time.
+kill -TERM "$A_PID" "$G_PID"
+for pid in "$A_PID" "$G_PID"; do
+  for _ in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.2
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: worker $pid still running 10 s after SIGTERM"
+    exit 1
+  fi
+  wait "$pid" || { echo "FAIL: worker $pid exited nonzero"; exit 1; }
+done
+A_PID=""; G_PID=""
+kill -TERM "$COORD_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$COORD_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$COORD_PID" 2>/dev/null; then
+  echo "FAIL: coordinator still running 10 s after SIGTERM"
+  exit 1
+fi
+wait "$COORD_PID" || { echo "FAIL: coordinator exited nonzero"; exit 1; }
+echo "failover smoke OK"
